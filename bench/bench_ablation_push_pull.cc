@@ -1,0 +1,33 @@
+// Ablation A3: server-push vs client-pull delivery (Section 5).
+//
+// Video playback is the update stream that exposes the pull model: updates
+// are generated faster than the client can request them, so each round trip
+// caps the frame rate. The same THINC server runs in both modes.
+#include "bench/bench_common.h"
+
+using namespace thinc;
+
+int main() {
+  const SimTime duration = BenchClipDuration();
+  bench::PrintHeader("Ablation: Server-Push vs Client-Pull (video playback)",
+                     "config   model   quality_%   frames   Mbps");
+  for (const ExperimentConfig& config : {LanDesktopConfig(), WanDesktopConfig()}) {
+    for (bool push : {true, false}) {
+      ThincServerOptions options;
+      options.server_push = push;
+      AvRunResult r = RunThincAvVariant(config, options, duration);
+      char frames[32];
+      std::snprintf(frames, sizeof(frames), "%d/%d", r.frames_displayed,
+                    r.frames_total);
+      std::printf("%-8s %-6s %10.1f %9s %7.1f\n", config.name.c_str(),
+                  push ? "push" : "pull", r.quality * 100, frames,
+                  r.bandwidth_mbps);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected: push sustains 100%% everywhere; pull loses quality as RTT\n"
+      "grows — the round trip per update batch bounds the deliverable frame\n"
+      "rate (the mechanism behind VNC's WAN collapse in Figure 5).\n");
+  return 0;
+}

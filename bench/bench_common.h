@@ -1,0 +1,61 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench prints the rows of one paper artifact (Figures 2-7, Table 2)
+// in a fixed-width text table, using the same system sets per network
+// configuration as Section 8.1:
+//   * LAN/WAN Desktop: ICA, RDP, X, NX, Sun Ray, VNC, THINC (+ local PC
+//     baseline); GoToMyPC only in WAN (it is an Internet-routed service).
+//   * 802.11g PDA: only the systems that support a client geometry
+//     different from the server's — ICA, RDP, GoToMyPC, VNC, THINC.
+#ifndef THINC_BENCH_BENCH_COMMON_H_
+#define THINC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/measure/experiment.h"
+
+namespace thinc {
+namespace bench {
+
+inline std::vector<SystemKind> DesktopSystems(bool include_gotomypc) {
+  std::vector<SystemKind> systems = {
+      SystemKind::kIca,  SystemKind::kRdp,    SystemKind::kX,
+      SystemKind::kNx,   SystemKind::kSunRay, SystemKind::kVnc,
+      SystemKind::kThinc};
+  if (include_gotomypc) {
+    systems.insert(systems.begin() + 2, SystemKind::kGotomypc);
+  }
+  systems.push_back(SystemKind::kLocalPc);
+  return systems;
+}
+
+inline std::vector<SystemKind> PdaSystems() {
+  return {SystemKind::kIca, SystemKind::kRdp, SystemKind::kGotomypc,
+          SystemKind::kVnc, SystemKind::kThinc};
+}
+
+inline int32_t WebPageCount() {
+  const char* env = std::getenv("THINC_WEB_PAGES");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 54;  // the full i-Bench-style suite
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n%s\n", title);
+  for (size_t i = 0; i < std::string(title).size(); ++i) {
+    std::putchar('=');
+  }
+  std::printf("\n%s\n", columns);
+}
+
+}  // namespace bench
+}  // namespace thinc
+
+#endif  // THINC_BENCH_BENCH_COMMON_H_

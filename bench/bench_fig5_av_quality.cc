@@ -1,0 +1,44 @@
+// Figure 5: A/V benchmark — slow-motion A/V quality per platform.
+// GoToMyPC and VNC are video-only (no audio support), as in the paper.
+#include "bench/bench_common.h"
+
+using namespace thinc;
+
+namespace {
+
+void RunConfig(const ExperimentConfig& config,
+               const std::vector<SystemKind>& systems, SimTime duration) {
+  std::printf("\n-- %s Desktop --\n", config.name.c_str());
+  std::printf("%-10s %10s %14s %10s\n", "system", "quality_%", "frames", "audio_%");
+  for (SystemKind kind : systems) {
+    AvRunResult r = RunAvBenchmark(kind, config, duration);
+    char frames[32];
+    std::snprintf(frames, sizeof(frames), "%d/%d", r.frames_displayed,
+                  r.frames_total);
+    std::printf("%-10s %10.1f %14s %10s\n", r.system.c_str(), r.quality * 100,
+                frames,
+                r.audio_supported
+                    ? std::to_string(static_cast<int>(r.audio_fraction * 100)).c_str()
+                    : "n/a");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const SimTime duration = BenchClipDuration();
+  bench::PrintHeader("Figure 5: A/V Benchmark - A/V Quality",
+                     "(352x240 24fps clip played full-screen; GoToMyPC/VNC video-only)");
+  std::printf("clip duration: %.2f s (set THINC_AV_FULL=1 for the paper's 34.75 s)\n",
+              static_cast<double>(duration) / kSecond);
+  RunConfig(LanDesktopConfig(), bench::DesktopSystems(false), duration);
+  RunConfig(WanDesktopConfig(), bench::DesktopSystems(true), duration);
+  RunConfig(Pda80211gConfig(), bench::PdaSystems(), duration);
+  std::printf(
+      "\nPaper shape: THINC is the only thin client at 100%% in every network,\n"
+      "including PDA; the local PC also reaches 100%%; everything else sits far\n"
+      "below (NX worst LAN ~12%%, GoToMyPC worst WAN <2%%, VNC hurt by its pull\n"
+      "model, RDP/ICA ~20%%).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: A/V benchmark — total data transferred during playback.
+#include "bench/bench_common.h"
+
+using namespace thinc;
+
+namespace {
+
+void RunConfig(const ExperimentConfig& config,
+               const std::vector<SystemKind>& systems, SimTime duration) {
+  std::printf("\n-- %s Desktop --\n", config.name.c_str());
+  std::printf("%-10s %10s %12s %10s\n", "system", "MB_total", "Mbps", "quality_%");
+  for (SystemKind kind : systems) {
+    AvRunResult r = RunAvBenchmark(kind, config, duration);
+    std::printf("%-10s %10.1f %12.1f %10.1f\n", r.system.c_str(),
+                static_cast<double>(r.bytes) / 1e6, r.bandwidth_mbps,
+                r.quality * 100);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const SimTime duration = BenchClipDuration();
+  bench::PrintHeader("Figure 6: A/V Benchmark - Total Data Transferred",
+                     "(systems that drop video send less data at lower quality)");
+  std::printf("clip duration: %.2f s (set THINC_AV_FULL=1 for the paper's 34.75 s)\n",
+              static_cast<double>(duration) / kSecond);
+  RunConfig(LanDesktopConfig(), bench::DesktopSystems(false), duration);
+  RunConfig(WanDesktopConfig(), bench::DesktopSystems(true), duration);
+  RunConfig(Pda80211gConfig(), bench::PdaSystems(), duration);
+  std::printf(
+      "\nPaper shape: local PC ~1.2 Mbps (encoded stream only); THINC ~24 Mbps of\n"
+      "YV12 at 100%% quality (117 MB for the full clip), dropping to ~3.5 Mbps in\n"
+      "the PDA configuration via server-side video resizing; systems sending less\n"
+      "than THINC do so by dropping frames.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Microbenchmarks (google-benchmark): throughput of the substrate pieces
+// the system-level results rest on — codecs, raster ops, region algebra,
+// the Fant resampler, and YUV conversion.
+#include <benchmark/benchmark.h>
+
+#include "src/codec/hextile.h"
+#include "src/codec/lzss.h"
+#include "src/codec/pnglike.h"
+#include "src/codec/rc4.h"
+#include "src/codec/rle.h"
+#include "src/codec/rle32.h"
+#include "src/raster/fant.h"
+#include "src/raster/surface.h"
+#include "src/raster/yuv.h"
+#include "src/baselines/thinc_system.h"
+#include "src/util/prng.h"
+#include "src/util/region.h"
+#include "src/workload/web.h"
+
+namespace thinc {
+namespace {
+
+std::vector<Pixel> ScreenLikePixels(int32_t w, int32_t h) {
+  // Mixed content: flat band, gradient band, noise band.
+  Prng rng(7);
+  std::vector<Pixel> px(static_cast<size_t>(w) * h);
+  for (int32_t y = 0; y < h; ++y) {
+    for (int32_t x = 0; x < w; ++x) {
+      Pixel p;
+      if (y < h / 3) {
+        p = MakePixel(236, 236, 240);
+      } else if (y < 2 * h / 3) {
+        p = MakePixel(static_cast<uint8_t>(x), 90, static_cast<uint8_t>(y));
+      } else {
+        p = static_cast<Pixel>(rng.Next()) | 0xFF000000;
+      }
+      px[static_cast<size_t>(y) * w + x] = p;
+    }
+  }
+  return px;
+}
+
+void BM_Rc4(benchmark::State& state) {
+  std::vector<uint8_t> key(16, 0x5A);
+  Rc4Cipher cipher(key);
+  std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)), 0x42);
+  std::vector<uint8_t> out(buf.size());
+  for (auto _ : state) {
+    cipher.Process(buf, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_Rc4)->Arg(64 << 10);
+
+void BM_LzssEncode(benchmark::State& state) {
+  std::vector<Pixel> px = ScreenLikePixels(256, 256);
+  std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(px.data()),
+                                 px.size() * 4);
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = LzssEncode(bytes);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes.size());
+}
+BENCHMARK(BM_LzssEncode);
+
+void BM_PngLikeEncode(benchmark::State& state) {
+  std::vector<Pixel> px = ScreenLikePixels(256, 256);
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = PngLikeEncode(px, 256, 256);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
+}
+BENCHMARK(BM_PngLikeEncode);
+
+void BM_PngLikeDecode(benchmark::State& state) {
+  std::vector<Pixel> px = ScreenLikePixels(256, 256);
+  std::vector<uint8_t> enc = PngLikeEncode(px, 256, 256);
+  for (auto _ : state) {
+    std::vector<Pixel> dec;
+    bool ok = PngLikeDecode(enc, 256, 256, &dec);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
+}
+BENCHMARK(BM_PngLikeDecode);
+
+void BM_HextileEncode(benchmark::State& state) {
+  std::vector<Pixel> px = ScreenLikePixels(256, 256);
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = HextileEncode(px, 256, 256);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
+}
+BENCHMARK(BM_HextileEncode);
+
+void BM_Rle32Encode(benchmark::State& state) {
+  std::vector<Pixel> px = ScreenLikePixels(256, 256);
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = Rle32Encode(px);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
+}
+BENCHMARK(BM_Rle32Encode);
+
+void BM_SurfaceFill(benchmark::State& state) {
+  Surface s(1024, 768);
+  for (auto _ : state) {
+    s.FillRect(Rect{0, 0, 1024, 768}, kWhite);
+    benchmark::DoNotOptimize(s.At(512, 384));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024 * 768 * 4);
+}
+BENCHMARK(BM_SurfaceFill);
+
+void BM_SurfaceScrollCopy(benchmark::State& state) {
+  Surface s(1024, 768);
+  for (auto _ : state) {
+    s.CopyFrom(s, Rect{0, 8, 1024, 760}, Point{0, 0});
+    benchmark::DoNotOptimize(s.At(0, 0));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024 * 760 * 4);
+}
+BENCHMARK(BM_SurfaceScrollCopy);
+
+void BM_FantDownscale(benchmark::State& state) {
+  Surface s(1024, 768);
+  std::vector<Pixel> px = ScreenLikePixels(1024, 768);
+  s.PutPixels(Rect{0, 0, 1024, 768}, px);
+  for (auto _ : state) {
+    Surface out = FantResample(s, 320, 240);
+    benchmark::DoNotOptimize(out.At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FantDownscale);
+
+void BM_YuvFrameToRgbFullScreen(benchmark::State& state) {
+  Yv12Frame frame = Yv12Frame::Allocate(352, 240);
+  for (auto _ : state) {
+    Surface out = Yv12ScaleToRgb(frame, 1024, 768);
+    benchmark::DoNotOptimize(out.At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YuvFrameToRgbFullScreen);
+
+void BM_RegionUnionSweep(benchmark::State& state) {
+  Prng rng(3);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 64; ++i) {
+    rects.push_back(Rect{static_cast<int32_t>(rng.NextBelow(900)),
+                         static_cast<int32_t>(rng.NextBelow(600)),
+                         static_cast<int32_t>(rng.NextInRange(4, 120)),
+                         static_cast<int32_t>(rng.NextInRange(4, 90))});
+  }
+  for (auto _ : state) {
+    Region r = Region::FromRects(rects);
+    benchmark::DoNotOptimize(r.Area());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RegionUnionSweep);
+
+void BM_ThincFullPageSimulation(benchmark::State& state) {
+  // End-to-end simulator throughput: one web page rendered, translated,
+  // scheduled, encrypted, transmitted, and applied at the client.
+  for (auto _ : state) {
+    EventLoop loop;
+    ThincSystem sys(&loop, LanDesktopLink(), 1024, 768);
+    WebWorkload workload(1024, 768);
+    workload.RenderPage(sys.api(), 1, sys.app_cpu());
+    loop.Run();
+    benchmark::DoNotOptimize(sys.BytesToClient());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThincFullPageSimulation);
+
+}  // namespace
+}  // namespace thinc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Table 2: the remote sites used for the WAN experiments, with their derived
+// network characteristics and a measured Iperf-style throughput (the
+// bandwidth bars of Figure 7).
+#include "bench/bench_common.h"
+
+using namespace thinc;
+
+int main() {
+  bench::PrintHeader(
+      "Table 2: Remote Sites for WAN Experiments",
+      "site  planetlab  distance_mi  rtt_ms  window_KB  iperf_Mbps  video_ok");
+  double lan_iperf = MeasureIperfMbps(LanDesktopLink());
+  for (const RemoteSite& site : RemoteSites()) {
+    double mbps = MeasureIperfMbps(site.link);
+    std::printf("%-5s %-9s  %11d  %6.1f  %9lld  %10.1f  %s\n", site.name.c_str(),
+                site.planetlab ? "yes" : "no", site.distance_miles,
+                static_cast<double>(site.link.rtt) / kMillisecond,
+                static_cast<long long>(site.link.tcp_window_bytes >> 10), mbps,
+                mbps >= 24.5 ? "yes" : "NO");
+  }
+  std::printf("(local LAN testbed iperf: %.1f Mbps; full-screen video needs ~24 Mbps)\n",
+              lan_iperf);
+  return 0;
+}

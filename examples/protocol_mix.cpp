@@ -1,0 +1,94 @@
+// Protocol command mix: which THINC primitives actually carry the data for
+// each workload — the view behind the paper's translation-layer argument
+// (Section 8.3: fills and bitmaps carry structure, RAW carries images, COPY
+// carries almost nothing but saves the most).
+//
+//   ./build/examples/protocol_mix
+
+#include <cstdio>
+
+#include "src/baselines/thinc_system.h"
+#include "src/workload/video.h"
+#include "src/workload/web.h"
+
+using namespace thinc;
+
+namespace {
+
+const char* TypeName(size_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kRaw:
+      return "RAW";
+    case MsgType::kCopy:
+      return "COPY";
+    case MsgType::kSfill:
+      return "SFILL";
+    case MsgType::kPfill:
+      return "PFILL";
+    case MsgType::kBitmap:
+      return "BITMAP";
+    case MsgType::kVideoSetup:
+      return "VIDEO_SETUP";
+    case MsgType::kVideoFrame:
+      return "VIDEO_FRAME";
+    case MsgType::kVideoMove:
+      return "VIDEO_MOVE";
+    case MsgType::kVideoTeardown:
+      return "VIDEO_DOWN";
+    case MsgType::kAudio:
+      return "AUDIO";
+    default:
+      return nullptr;
+  }
+}
+
+void PrintMix(const char* title, const ThincClient& client) {
+  std::printf("\n%s\n", title);
+  std::printf("%-12s %8s %12s %8s\n", "command", "frames", "bytes", "share");
+  int64_t total = 0;
+  for (const auto& s : client.type_stats()) {
+    total += s.payload_bytes;
+  }
+  for (size_t t = 0; t < client.type_stats().size(); ++t) {
+    const auto& s = client.type_stats()[t];
+    const char* name = TypeName(t);
+    if (name == nullptr || s.frames == 0) {
+      continue;
+    }
+    std::printf("%-12s %8lld %12lld %7.1f%%\n", name,
+                static_cast<long long>(s.frames),
+                static_cast<long long>(s.payload_bytes),
+                100.0 * static_cast<double>(s.payload_bytes) /
+                    static_cast<double>(total > 0 ? total : 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    EventLoop loop;
+    ThincSystem sys(&loop, LanDesktopLink(), 1024, 768);
+    WebWorkload workload(1024, 768);
+    for (int p = 0; p < 6; ++p) {
+      workload.RenderPage(sys.api(), p, sys.app_cpu());
+      loop.Run();
+    }
+    PrintMix("Web browsing (6 pages):", *sys.client());
+  }
+  {
+    EventLoop loop;
+    ThincSystem sys(&loop, LanDesktopLink(), 1024, 768);
+    VideoSourceOptions vo;
+    vo.duration = 2 * kSecond;
+    vo.dst = Rect{0, 0, 1024, 768};
+    VideoSource video(&loop, sys.api(), sys.app_cpu(), vo);
+    video.Start();
+    loop.Run();
+    PrintMix("Video playback (2 s full-screen):", *sys.client());
+  }
+  std::printf(
+      "\nThe translation layer keeps structure semantic (fills, bitmaps, copies)\n"
+      "so RAW/VIDEO payloads are the only heavy movers, each on its best path.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Full-screen video playback through THINC's native video architecture
+// (Section 4.2): YV12 frames cross the wire at 352x240 and the client's
+// emulated overlay hardware scales them to the 1024x768 screen. Plays the
+// same clip over the LAN, the WAN, and a trans-Atlantic remote site, then
+// deliberately over a link too slow for the stream to show server-side
+// frame dropping.
+//
+//   ./build/examples/video_player
+
+#include <cstdio>
+
+#include "src/measure/experiment.h"
+
+using namespace thinc;
+
+static void Play(const char* label, const ExperimentConfig& config,
+                 SimTime duration) {
+  AvRunResult r = RunAvBenchmark(SystemKind::kThinc, config, duration);
+  std::printf("%-22s quality %5.1f%%  frames %3d/%3d  %5.1f Mbps  audio %3.0f%%\n",
+              label, r.quality * 100, r.frames_displayed, r.frames_total,
+              r.bandwidth_mbps, r.audio_fraction * 100);
+}
+
+int main() {
+  const SimTime duration = 6 * kSecond;
+  std::printf("Playing a 352x240 24 fps clip full-screen over THINC...\n\n");
+  Play("LAN desktop", LanDesktopConfig(), duration);
+  Play("WAN desktop (66ms)", WanDesktopConfig(), duration);
+  for (const RemoteSite& site : RemoteSites()) {
+    if (site.name == "FI" || site.name == "KR") {
+      std::string label = "remote site " + site.name;
+      Play(label.c_str(), RemoteSiteConfig(site), duration);
+    }
+  }
+
+  // A link below the stream's ~24 Mbps: the server's client-buffer eviction
+  // drops outdated frames instead of stalling (Section 5).
+  ExperimentConfig starved = LanDesktopConfig();
+  starved.name = "starved";
+  starved.link.bandwidth_bps = 8'000'000;
+  Play("8 Mbps (starved)", starved, duration);
+
+  std::printf(
+      "\nThe YV12 stream needs ~24 Mbps; Korea's 256 KB TCP window across a\n"
+      "~150 ms RTT cannot sustain that, so its quality drops — every other\n"
+      "link plays perfectly, matching Figures 5 and 7.\n");
+  return 0;
+}

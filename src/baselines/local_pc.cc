@@ -1,0 +1,24 @@
+#include "src/baselines/local_pc.h"
+
+#include <algorithm>
+
+namespace thinc {
+
+LocalPcSystem::LocalPcSystem(EventLoop* loop, const LinkParams& link,
+                             int32_t screen_width, int32_t screen_height)
+    : loop_(loop), client_cpu_(loop, kClientCpuSpeed),
+      conn_(std::make_unique<Connection>(loop, link)),
+      fetch_queue_(
+          std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
+      driver_(std::make_unique<LocalVideoDriver>(this)) {
+  ws_ = std::make_unique<WindowServer>(screen_width, screen_height, driver_.get(),
+                                       &client_cpu_);
+}
+
+void LocalPcSystem::FetchContent(int64_t bytes) {
+  // The web server ships the content; the Connection model accounts for
+  // transfer time and the packet trace records the volume.
+  fetch_queue_->Enqueue(std::vector<uint8_t>(static_cast<size_t>(bytes), 0x5A));
+}
+
+}  // namespace thinc

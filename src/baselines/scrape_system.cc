@@ -1,0 +1,282 @@
+#include "src/baselines/scrape_system.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/codec/hextile.h"
+#include "src/codec/lzss.h"
+#include "src/codec/palette.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+
+ScrapeOptions MakeVncOptions(bool aggressive) {
+  ScrapeOptions o;
+  o.name = "VNC";
+  o.aggressive = aggressive;
+  return o;
+}
+
+ScrapeOptions MakeGotomypcOptions() {
+  ScrapeOptions o;
+  o.name = "GoToMyPC";
+  o.palette8 = true;
+  o.heavy_compression = true;
+  o.relay = true;
+  o.resize_on_client = true;
+  return o;
+}
+
+ScrapeSystem::ScrapeSystem(EventLoop* loop, const LinkParams& link,
+                           int32_t screen_width, int32_t screen_height,
+                           ScrapeOptions options)
+    : loop_(loop), options_(std::move(options)), server_cpu_(loop, kServerCpuSpeed),
+      client_cpu_(loop, kClientCpuSpeed), client_fb_(screen_width, screen_height,
+                                                     kBlack) {
+  if (options_.relay) {
+    // Two legs, each contributing half the end-to-end RTT, joined by the
+    // hosted intermediate server.
+    LinkParams leg = link;
+    leg.rtt = link.rtt / 2;
+    conn_ = std::make_unique<Connection>(loop, leg);
+    conn_client_ = std::make_unique<Connection>(loop, leg);
+    relay_ = std::make_unique<Relay>(conn_.get(), Connection::kClient,
+                                     conn_client_.get(), Connection::kServer);
+    conn_client_->SetReceiver(Connection::kClient,
+                              [this](std::span<const uint8_t> d) {
+                                OnClientReceive(d);
+                              });
+  } else {
+    conn_ = std::make_unique<Connection>(loop, link);
+    conn_->SetReceiver(Connection::kClient,
+                       [this](std::span<const uint8_t> d) { OnClientReceive(d); });
+  }
+  conn_->SetReceiver(Connection::kServer,
+                     [this](std::span<const uint8_t> d) { OnServerReceive(d); });
+  out_ = std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer);
+  driver_ = std::make_unique<ScrapeDriver>(this);
+  server_ws_ = std::make_unique<WindowServer>(screen_width, screen_height,
+                                              driver_.get(), &server_cpu_);
+  // The client opens with an initial update request (RFB handshake).
+  ClientRequestUpdate();
+}
+
+void ScrapeSystem::ClientRequestUpdate() {
+  std::vector<uint8_t> frame = BuildFrame(static_cast<MsgType>(Msg::kRequest), {});
+  client_leg()->Send(Connection::kClient, frame);
+}
+
+void ScrapeSystem::SetViewport(int32_t width, int32_t height) {
+  viewport_ = Rect{0, 0, width, height};
+  client_fb_ = Surface(width, height, kBlack);
+}
+
+void ScrapeSystem::Damage(DrawableId dst, const Region& region) {
+  if (dst != kScreenDrawable) {
+    return;  // semantics (and offscreen content) are invisible to a scraper
+  }
+  dirty_ = dirty_.Union(region);
+  MaybeAnswer();
+}
+
+void ScrapeSystem::MaybeAnswer() {
+  if (!request_pending_ || dirty_.empty() || answer_scheduled_) {
+    return;
+  }
+  answer_scheduled_ = true;
+  loop_->Schedule(options_.defer, [this] {
+    answer_scheduled_ = false;
+    EncodeAndSend();
+  });
+}
+
+void ScrapeSystem::EncodeAndSend() {
+  if (!request_pending_ || dirty_.empty()) {
+    return;
+  }
+  Region to_send = dirty_;
+  if (viewport_.has_value() && !options_.resize_on_client) {
+    // Clip model: only the viewport window into the desktop is shipped.
+    to_send = to_send.Intersect(*viewport_);
+    dirty_ = dirty_.Subtract(*viewport_);
+    if (to_send.empty()) {
+      return;
+    }
+  } else {
+    dirty_ = Region();
+  }
+  request_pending_ = false;
+
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(to_send.rect_count()));
+  double cpu_cost = 0;
+  for (const Rect& r : to_send.rects()) {
+    std::vector<Pixel> pixels = server_ws_->screen().GetPixels(r);
+    const double raw_bytes = static_cast<double>(pixels.size() * sizeof(Pixel));
+    std::vector<uint8_t> encoded;
+    uint8_t mode;
+    if (options_.palette8) {
+      // GoToMyPC: quantize to 8-bit, then compress hard.
+      std::vector<uint8_t> indexed = PaletteQuantize(pixels);
+      encoded = LzssEncode(indexed);
+      cpu_cost += cpucost::kHeavyPerByte * raw_bytes;
+      mode = 2;
+    } else {
+      encoded = HextileEncode(pixels, r.width, r.height);
+      cpu_cost += cpucost::kHextilePerByte * raw_bytes;
+      mode = 0;
+      if (options_.aggressive) {
+        std::vector<uint8_t> packed = LzssEncode(encoded);
+        cpu_cost += cpucost::kLzssPerByte * static_cast<double>(encoded.size());
+        if (packed.size() < encoded.size()) {
+          encoded = std::move(packed);
+          mode = 1;
+        }
+      }
+    }
+    w.RectVal(r);
+    w.U8(mode);
+    w.U32(static_cast<uint32_t>(encoded.size()));
+    w.Bytes(encoded);
+  }
+  SimTime release = server_cpu_.Charge(cpu_cost);
+  std::vector<uint8_t> payload = w.Take();
+  out_->Enqueue(BuildFrame(static_cast<MsgType>(Msg::kUpdate), payload), release);
+  ++updates_sent_;
+}
+
+void ScrapeSystem::ClientClick(Point location) {
+  WireWriter w;
+  w.PointVal(location);
+  std::vector<uint8_t> payload = w.Take();
+  client_leg()->Send(Connection::kClient,
+                     BuildFrame(static_cast<MsgType>(Msg::kInput), payload));
+}
+
+void ScrapeSystem::OnServerReceive(std::span<const uint8_t> data) {
+  server_parser_.Feed(data);
+  while (auto frame = server_parser_.Next()) {
+    switch (static_cast<Msg>(frame->type)) {
+      case Msg::kRequest:
+        request_pending_ = true;
+        MaybeAnswer();
+        break;
+      case Msg::kInput: {
+        WireReader r(frame->payload);
+        Point p;
+        if (r.PointVal(&p)) {
+          server_ws_->InjectInput(p);
+          if (input_fn_) {
+            input_fn_(p);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void ScrapeSystem::OnClientReceive(std::span<const uint8_t> data) {
+  client_parser_.Feed(data);
+  while (auto frame = client_parser_.Next()) {
+    if (static_cast<Msg>(frame->type) == Msg::kUpdate) {
+      HandleUpdate(frame->payload);
+      // Pull model: processed this update, ask for the next.
+      ClientRequestUpdate();
+    }
+  }
+}
+
+void ScrapeSystem::HandleUpdate(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  uint32_t rect_count;
+  if (!r.U32(&rect_count) || rect_count > 1'000'000) {
+    return;
+  }
+  Region covered;
+  for (uint32_t i = 0; i < rect_count; ++i) {
+    Rect rect;
+    uint8_t mode;
+    uint32_t len;
+    if (!r.RectVal(&rect) || !r.U8(&mode) || !r.U32(&len)) {
+      return;
+    }
+    std::vector<uint8_t> encoded;
+    if (!r.Bytes(len, &encoded)) {
+      return;
+    }
+    std::vector<Pixel> pixels;
+    if (mode == 2) {
+      std::vector<uint8_t> indexed;
+      if (!LzssDecode(encoded, &indexed) ||
+          indexed.size() != static_cast<size_t>(rect.area())) {
+        return;
+      }
+      pixels = PaletteExpand(indexed);
+    } else if (mode == 1) {
+      std::vector<uint8_t> hextile;
+      if (!LzssDecode(encoded, &hextile) ||
+          !HextileDecode(hextile, rect.width, rect.height, &pixels)) {
+        return;
+      }
+    } else {
+      if (!HextileDecode(encoded, rect.width, rect.height, &pixels)) {
+        return;
+      }
+    }
+    client_cpu_.Charge(cpucost::kDecodePerByte * static_cast<double>(len) * 2);
+
+    if (viewport_.has_value() && options_.resize_on_client) {
+      // GoToMyPC PDA: full-resolution data arrives; the *client* resamples —
+      // latency up, bandwidth unchanged (Section 8.3).
+      client_cpu_.Charge(static_cast<double>(rect.area()) *
+                         cpucost::kClientResamplePerPixel);
+      int32_t sw = server_ws_->screen().width();
+      int32_t sh = server_ws_->screen().height();
+      int32_t vx1 = rect.x * viewport_->width / sw;
+      int32_t vy1 = rect.y * viewport_->height / sh;
+      int32_t vx2 = (rect.right() * viewport_->width + sw - 1) / sw;
+      int32_t vy2 = (rect.bottom() * viewport_->height + sh - 1) / sh;
+      Rect dst = Rect::FromEdges(vx1, vy1, vx2, vy2).Intersect(client_fb_.bounds());
+      // Nearest-neighbour resample: the cheap algorithm a constrained client
+      // uses (ICA/GoToMyPC display quality is "barely readable").
+      for (int32_t y = dst.y; y < dst.bottom(); ++y) {
+        for (int32_t x = dst.x; x < dst.right(); ++x) {
+          int32_t sx = x * sw / viewport_->width - rect.x;
+          int32_t sy = y * sh / viewport_->height - rect.y;
+          sx = std::clamp(sx, 0, rect.width - 1);
+          sy = std::clamp(sy, 0, rect.height - 1);
+          client_fb_.Put(x, y,
+                         pixels[static_cast<size_t>(sy) * rect.width + sx]);
+        }
+      }
+    } else {
+      client_fb_.PutPixels(rect, pixels);
+    }
+    covered = covered.Union(rect);
+  }
+  client_processed_at_ = std::max(client_processed_at_, client_cpu_.busy_until());
+
+  if (probe_rect_.has_value()) {
+    Rect probe = *probe_rect_;
+    if (viewport_.has_value() && !options_.resize_on_client) {
+      probe = probe.Intersect(*viewport_);
+    }
+    if (!probe.empty() &&
+        covered.Intersect(probe).Area() * 10 >= probe.area() * 3) {
+      video_frame_times_.push_back(loop_->now());
+    }
+  }
+}
+
+int64_t ScrapeSystem::BytesToClient() const {
+  return client_leg()->BytesDeliveredTo(Connection::kClient);
+}
+
+SimTime ScrapeSystem::LastDeliveryToClient() const {
+  return client_leg()->LastDeliveryTo(Connection::kClient);
+}
+
+}  // namespace thinc

@@ -1,0 +1,111 @@
+// SendQueue: ordered, non-blocking delivery of wire frames over a simulated
+// connection, shared by the baseline systems.
+//
+// Each frame carries a release time (when the sending host has actually
+// produced it — CPU compression completion, or the X application emerging
+// from a synchronous round trip). Frames go out FIFO; the pump writes as
+// much as the socket accepts and resumes on the writable callback.
+//
+// Enqueue supports pressure control by key: if an *unstarted* queued frame
+// with the same key is still waiting, the new frame is REJECTED (returns
+// false) — the already-compressed predecessor goes out and the fresh frame
+// is dropped, exactly what happens when a real encode pipeline outruns the
+// wire. Push-model baselines use this for video updates; the rejections are
+// their dropped frames.
+#ifndef THINC_SRC_BASELINES_SEND_QUEUE_H_
+#define THINC_SRC_BASELINES_SEND_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/net/connection.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+class SendQueue {
+ public:
+  SendQueue(EventLoop* loop, Connection* conn, int endpoint)
+      : loop_(loop), conn_(conn), endpoint_(endpoint) {
+    conn_->SetWritable(endpoint_, [this] { Pump(); });
+  }
+
+  // Returns false if the frame was rejected because a same-key frame is
+  // still waiting to start transmission (the caller should count a drop).
+  bool Enqueue(std::vector<uint8_t> frame, SimTime release = 0, int64_t key = -1) {
+    if (key >= 0) {
+      for (Item& item : queue_) {
+        if (item.key == key && item.cursor == 0) {
+          return false;
+        }
+      }
+    }
+    Item item;
+    item.bytes = std::move(frame);
+    item.release = release;
+    item.key = key;
+    queued_bytes_ += item.bytes.size();
+    queue_.push_back(std::move(item));
+    SchedulePump(0);
+    return true;
+  }
+
+  size_t queued_bytes() const { return queued_bytes_; }
+  bool Idle() const { return queue_.empty(); }
+
+ private:
+  struct Item {
+    std::vector<uint8_t> bytes;
+    size_t cursor = 0;
+    SimTime release = 0;
+    int64_t key = -1;
+  };
+
+  void SchedulePump(SimTime delay) {
+    if (pump_scheduled_) {
+      return;
+    }
+    pump_scheduled_ = true;
+    loop_->Schedule(delay, [this] {
+      pump_scheduled_ = false;
+      Pump();
+    });
+  }
+
+  void Pump() {
+    while (!queue_.empty()) {
+      Item& head = queue_.front();
+      SimTime now = loop_->now();
+      if (head.release > now) {
+        SchedulePump(head.release - now);
+        return;
+      }
+      size_t space = conn_->FreeSpace(endpoint_);
+      if (space == 0) {
+        return;  // writable callback resumes
+      }
+      size_t n = std::min(space, head.bytes.size() - head.cursor);
+      size_t sent = conn_->Send(
+          endpoint_, std::span<const uint8_t>(head.bytes.data() + head.cursor, n));
+      head.cursor += sent;
+      queued_bytes_ -= sent;
+      if (head.cursor < head.bytes.size()) {
+        return;
+      }
+      queue_.pop_front();
+    }
+  }
+
+  EventLoop* loop_;
+  Connection* conn_;
+  int endpoint_;
+  std::deque<Item> queue_;
+  size_t queued_bytes_ = 0;
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_BASELINES_SEND_QUEUE_H_

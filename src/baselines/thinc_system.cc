@@ -1,0 +1,55 @@
+#include "src/baselines/thinc_system.h"
+
+namespace thinc {
+
+ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
+                         int32_t screen_width, int32_t screen_height,
+                         ThincServerOptions server_options,
+                         ThincClientOptions client_options)
+    : loop_(loop), server_cpu_(loop, kServerCpuSpeed),
+      client_cpu_(loop, kClientCpuSpeed),
+      conn_(std::make_unique<Connection>(loop, link)) {
+  // Keep push/pull settings coherent across the pair.
+  client_options.client_pull = !server_options.server_push;
+  client_options.encrypt = server_options.encrypt;
+  server_ = std::make_unique<ThincServer>(loop, conn_.get(), &server_cpu_,
+                                          server_options);
+  window_server_ = std::make_unique<WindowServer>(screen_width, screen_height,
+                                                  server_.get(), &server_cpu_);
+  server_->AttachWindowServer(window_server_.get());
+  client_ = std::make_unique<ThincClient>(loop, conn_.get(), &client_cpu_,
+                                          screen_width, screen_height,
+                                          client_options);
+  server_->SetInputHandler([this](Point p, int32_t button) {
+    window_server_->InjectInput(p);
+    if (input_fn_) {
+      input_fn_(p);
+    }
+  });
+}
+
+void ThincSystem::ClientClick(Point location) {
+  client_->SendInput(location, /*button=*/1);
+}
+
+void ThincSystem::SetViewport(int32_t width, int32_t height) {
+  client_->RequestViewport(width, height);
+}
+
+const std::vector<SimTime>& ThincSystem::VideoFrameTimes() const {
+  video_frame_times_.clear();
+  for (const VideoFrameArrival& f : client_->video_frames()) {
+    video_frame_times_.push_back(f.time);
+  }
+  return video_frame_times_;
+}
+
+int64_t ThincSystem::AudioBytesDelivered() const {
+  int64_t total = 0;
+  for (const AudioChunkArrival& chunk : client_->audio_chunks()) {
+    total += static_cast<int64_t>(chunk.bytes);
+  }
+  return total;
+}
+
+}  // namespace thinc

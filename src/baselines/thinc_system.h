@@ -1,0 +1,74 @@
+// THINC assembled as a complete system-under-test: window server +
+// ThincServer driver on the server host, ThincClient on the client host,
+// one simulated connection between them.
+#ifndef THINC_SRC_BASELINES_THINC_SYSTEM_H_
+#define THINC_SRC_BASELINES_THINC_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/system.h"
+#include "src/core/thinc_client.h"
+#include "src/core/thinc_server.h"
+#include "src/display/window_server.h"
+#include "src/net/connection.h"
+
+namespace thinc {
+
+class ThincSystem : public RemoteDisplaySystem {
+ public:
+  ThincSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
+              int32_t screen_height, ThincServerOptions server_options = {},
+              ThincClientOptions client_options = {});
+
+  std::string name() const override { return "THINC"; }
+  DrawingApi* api() override { return window_server_.get(); }
+  CpuAccount* app_cpu() override { return &server_cpu_; }
+
+  void ClientClick(Point location) override;
+  void SetInputCallback(InputFn fn) override { input_fn_ = std::move(fn); }
+
+  bool SupportsViewport() const override { return true; }
+  void SetViewport(int32_t width, int32_t height) override;
+
+  void SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) override {
+    server_->SubmitAudio(pcm, timestamp);
+  }
+
+  int64_t BytesToClient() const override {
+    return conn_->BytesDeliveredTo(Connection::kClient);
+  }
+  SimTime LastDeliveryToClient() const override {
+    return conn_->LastDeliveryTo(Connection::kClient);
+  }
+  SimTime ClientLastProcessedAt() const override {
+    return client_->last_processed_at();
+  }
+  const std::vector<SimTime>& VideoFrameTimes() const override;
+  int64_t AudioBytesDelivered() const override;
+  const Surface* ClientFramebuffer() const override {
+    return &client_->framebuffer();
+  }
+
+  // Direct access for tests and detailed benchmarks.
+  WindowServer* window_server() { return window_server_.get(); }
+  ThincServer* server() { return server_.get(); }
+  ThincClient* client() { return client_.get(); }
+  Connection* connection() { return conn_.get(); }
+  CpuAccount* client_cpu() { return &client_cpu_; }
+
+ private:
+  EventLoop* loop_;
+  CpuAccount server_cpu_;
+  CpuAccount client_cpu_;
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<ThincServer> server_;
+  std::unique_ptr<WindowServer> window_server_;
+  std::unique_ptr<ThincClient> client_;
+  InputFn input_fn_;
+  mutable std::vector<SimTime> video_frame_times_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_BASELINES_THINC_SYSTEM_H_

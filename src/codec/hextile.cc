@@ -1,0 +1,193 @@
+#include "src/codec/hextile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace thinc {
+namespace {
+
+constexpr int32_t kTile = 16;
+
+enum TileKind : uint8_t {
+  kRaw = 0,
+  kSolid = 1,
+  kSubrects = 2,
+};
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool GetU32(std::span<const uint8_t> in, size_t* i, uint32_t* v) {
+  if (*i + 4 > in.size()) {
+    return false;
+  }
+  *v = static_cast<uint32_t>(in[*i]) | (static_cast<uint32_t>(in[*i + 1]) << 8) |
+       (static_cast<uint32_t>(in[*i + 2]) << 16) |
+       (static_cast<uint32_t>(in[*i + 3]) << 24);
+  *i += 4;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> HextileEncode(std::span<const Pixel> pixels, int32_t width,
+                                   int32_t height) {
+  std::vector<uint8_t> out;
+  for (int32_t ty = 0; ty < height; ty += kTile) {
+    for (int32_t tx = 0; tx < width; tx += kTile) {
+      int32_t tw = std::min(kTile, width - tx);
+      int32_t th = std::min(kTile, height - ty);
+      // Histogram of tile colors.
+      std::map<Pixel, int> hist;
+      for (int32_t y = 0; y < th; ++y) {
+        for (int32_t x = 0; x < tw; ++x) {
+          ++hist[pixels[static_cast<size_t>(ty + y) * width + tx + x]];
+        }
+      }
+      if (hist.size() == 1) {
+        out.push_back(kSolid);
+        PutU32(&out, hist.begin()->first);
+        continue;
+      }
+      if (hist.size() <= 8) {
+        // Background = most frequent color; rest as per-pixel-run subrects.
+        Pixel bg = hist.begin()->first;
+        int best = 0;
+        for (const auto& [color, count] : hist) {
+          if (count > best) {
+            best = count;
+            bg = color;
+          }
+        }
+        // Collect horizontal runs of non-background color.
+        struct Run {
+          uint8_t x, y, w;
+          Pixel color;
+        };
+        std::vector<Run> runs;
+        for (int32_t y = 0; y < th; ++y) {
+          int32_t x = 0;
+          while (x < tw) {
+            Pixel c = pixels[static_cast<size_t>(ty + y) * width + tx + x];
+            if (c == bg) {
+              ++x;
+              continue;
+            }
+            int32_t x2 = x + 1;
+            while (x2 < tw &&
+                   pixels[static_cast<size_t>(ty + y) * width + tx + x2] == c) {
+              ++x2;
+            }
+            runs.push_back(Run{static_cast<uint8_t>(x), static_cast<uint8_t>(y),
+                               static_cast<uint8_t>(x2 - x), c});
+            x = x2;
+          }
+        }
+        // Only profitable if smaller than raw.
+        size_t encoded = 1 + 4 + 2 + runs.size() * 7;
+        size_t raw_size = 1 + static_cast<size_t>(tw) * th * 4;
+        if (encoded < raw_size && runs.size() < 65536) {
+          out.push_back(kSubrects);
+          PutU32(&out, bg);
+          out.push_back(static_cast<uint8_t>(runs.size() & 0xFF));
+          out.push_back(static_cast<uint8_t>(runs.size() >> 8));
+          for (const Run& r : runs) {
+            out.push_back(r.x);
+            out.push_back(r.y);
+            out.push_back(r.w);
+            PutU32(&out, r.color);
+          }
+          continue;
+        }
+      }
+      // Raw tile.
+      out.push_back(kRaw);
+      for (int32_t y = 0; y < th; ++y) {
+        const Pixel* row = pixels.data() + static_cast<size_t>(ty + y) * width + tx;
+        for (int32_t x = 0; x < tw; ++x) {
+          PutU32(&out, row[x]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool HextileDecode(std::span<const uint8_t> data, int32_t width, int32_t height,
+                   std::vector<Pixel>* pixels) {
+  pixels->assign(static_cast<size_t>(width) * height, 0);
+  size_t i = 0;
+  for (int32_t ty = 0; ty < height; ty += kTile) {
+    for (int32_t tx = 0; tx < width; tx += kTile) {
+      int32_t tw = std::min(kTile, width - tx);
+      int32_t th = std::min(kTile, height - ty);
+      if (i >= data.size()) {
+        return false;
+      }
+      uint8_t kind = data[i++];
+      if (kind == kSolid) {
+        uint32_t color;
+        if (!GetU32(data, &i, &color)) {
+          return false;
+        }
+        for (int32_t y = 0; y < th; ++y) {
+          Pixel* row = pixels->data() + static_cast<size_t>(ty + y) * width + tx;
+          std::fill(row, row + tw, color);
+        }
+      } else if (kind == kSubrects) {
+        uint32_t bg;
+        if (!GetU32(data, &i, &bg)) {
+          return false;
+        }
+        if (i + 2 > data.size()) {
+          return false;
+        }
+        size_t n = static_cast<size_t>(data[i]) | (static_cast<size_t>(data[i + 1]) << 8);
+        i += 2;
+        for (int32_t y = 0; y < th; ++y) {
+          Pixel* row = pixels->data() + static_cast<size_t>(ty + y) * width + tx;
+          std::fill(row, row + tw, bg);
+        }
+        for (size_t k = 0; k < n; ++k) {
+          if (i + 3 > data.size()) {
+            return false;
+          }
+          uint8_t x = data[i];
+          uint8_t y = data[i + 1];
+          uint8_t w = data[i + 2];
+          i += 3;
+          uint32_t color;
+          if (!GetU32(data, &i, &color)) {
+            return false;
+          }
+          if (x + w > tw || y >= th) {
+            return false;
+          }
+          Pixel* row = pixels->data() + static_cast<size_t>(ty + y) * width + tx + x;
+          std::fill(row, row + w, color);
+        }
+      } else if (kind == kRaw) {
+        for (int32_t y = 0; y < th; ++y) {
+          Pixel* row = pixels->data() + static_cast<size_t>(ty + y) * width + tx;
+          for (int32_t x = 0; x < tw; ++x) {
+            uint32_t color;
+            if (!GetU32(data, &i, &color)) {
+              return false;
+            }
+            row[x] = color;
+          }
+        }
+      } else {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace thinc

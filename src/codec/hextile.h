@@ -1,0 +1,30 @@
+// Hextile encoding, the workhorse update encoding of the VNC baseline.
+//
+// The image is split into 16x16 tiles. Each tile is encoded as one of:
+//   * RAW: the tile's pixels verbatim,
+//   * SOLID: a single background color,
+//   * SUBRECTS: a background color plus a list of solid foreground
+//     sub-rectangles (each with its own color).
+// This mirrors RFB's hextile scheme closely enough to reproduce its
+// compression profile: strong on flat UI content, weak on photographic and
+// video content (where it degenerates to RAW tiles).
+#ifndef THINC_SRC_CODEC_HEXTILE_H_
+#define THINC_SRC_CODEC_HEXTILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+std::vector<uint8_t> HextileEncode(std::span<const Pixel> pixels, int32_t width,
+                                   int32_t height);
+
+bool HextileDecode(std::span<const uint8_t> data, int32_t width, int32_t height,
+                   std::vector<Pixel>* pixels);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_HEXTILE_H_

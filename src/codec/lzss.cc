@@ -1,0 +1,124 @@
+#include "src/codec/lzss.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace thinc {
+namespace {
+
+constexpr size_t kWindow = 4096;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr size_t kHashSize = 1 << 15;
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 17;
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzssEncode(std::span<const uint8_t> in) {
+  std::vector<uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+  // head[h] = most recent position with hash h; prev[] chains earlier ones.
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(in.size(), -1);
+
+  size_t i = 0;
+  size_t flag_pos = 0;
+  int flag_bit = 8;  // force new flag byte on first token
+  auto begin_token = [&](bool is_match) {
+    if (flag_bit == 8) {
+      flag_pos = out.size();
+      out.push_back(0);
+      flag_bit = 0;
+    }
+    if (is_match) {
+      out[flag_pos] |= static_cast<uint8_t>(1u << flag_bit);
+    }
+    ++flag_bit;
+  };
+
+  while (i < in.size()) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= in.size()) {
+      uint32_t h = Hash3(in.data() + i);
+      int32_t cand = head[h];
+      int probes = 32;
+      while (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow && probes-- > 0) {
+        size_t dist = i - static_cast<size_t>(cand);
+        size_t len = 0;
+        size_t max_len = std::min(kMaxMatch, in.size() - i);
+        while (len < max_len && in[cand + len] == in[i + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == kMaxMatch) {
+            break;
+          }
+        }
+        cand = prev[static_cast<size_t>(cand)];
+      }
+      // Insert current position into the chain.
+      prev[i] = head[h];
+      head[h] = static_cast<int32_t>(i);
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      uint16_t dist = static_cast<uint16_t>(best_dist - 1);   // 0..4095
+      uint8_t lenc = static_cast<uint8_t>(best_len - kMinMatch);  // 0..15
+      out.push_back(static_cast<uint8_t>(dist & 0xFF));
+      out.push_back(static_cast<uint8_t>(((dist >> 8) & 0x0F) | (lenc << 4)));
+      // Insert skipped positions into the hash chains for better matches.
+      for (size_t k = 1; k < best_len && i + k + kMinMatch <= in.size(); ++k) {
+        uint32_t h = Hash3(in.data() + i + k);
+        prev[i + k] = head[h];
+        head[h] = static_cast<int32_t>(i + k);
+      }
+      i += best_len;
+    } else {
+      begin_token(false);
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool LzssDecode(std::span<const uint8_t> in, std::vector<uint8_t>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < in.size()) {
+    uint8_t flags = in[i++];
+    for (int bit = 0; bit < 8 && i < in.size(); ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 2 > in.size()) {
+          return false;
+        }
+        uint16_t lo = in[i];
+        uint16_t hi = in[i + 1];
+        i += 2;
+        size_t dist = static_cast<size_t>(lo | ((hi & 0x0F) << 8)) + 1;
+        size_t len = static_cast<size_t>(hi >> 4) + kMinMatch;
+        if (dist > out->size()) {
+          return false;
+        }
+        size_t start = out->size() - dist;
+        for (size_t k = 0; k < len; ++k) {
+          out->push_back((*out)[start + k]);
+        }
+      } else {
+        out->push_back(in[i++]);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace thinc

@@ -1,0 +1,25 @@
+// LZSS sliding-window compressor (the dictionary half of DEFLATE, without
+// the entropy stage). Used as the backend of the PNG-like codec for THINC
+// RAW updates and as the "aggressive" compressor of the NX / adaptive
+// baselines.
+//
+// Format: a bit-flagged token stream. Each group of 8 tokens is preceded by
+// a flag byte (LSB first): flag bit 0 = literal byte, 1 = match encoded as
+// two bytes: 12-bit distance (1..4096) and 4-bit length-3 (3..18).
+#ifndef THINC_SRC_CODEC_LZSS_H_
+#define THINC_SRC_CODEC_LZSS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace thinc {
+
+std::vector<uint8_t> LzssEncode(std::span<const uint8_t> in);
+
+// Returns false on malformed input.
+bool LzssDecode(std::span<const uint8_t> in, std::vector<uint8_t>* out);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_LZSS_H_

@@ -1,0 +1,38 @@
+#include "src/codec/palette.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace thinc {
+
+std::vector<uint8_t> PaletteQuantize(std::span<const Pixel> pixels) {
+  std::vector<uint8_t> out(pixels.size());
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    out[i] = QuantizeTo332(pixels[i]);
+  }
+  return out;
+}
+
+std::vector<Pixel> PaletteExpand(std::span<const uint8_t> indexed) {
+  std::vector<Pixel> out(indexed.size());
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    out[i] = ExpandFrom332(indexed[i]);
+  }
+  return out;
+}
+
+int MaxChannelError(std::span<const Pixel> original, std::span<const Pixel> restored) {
+  THINC_CHECK(original.size() == restored.size());
+  int max_err = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    max_err = std::max(
+        {max_err, std::abs(PixelR(original[i]) - PixelR(restored[i])),
+         std::abs(PixelG(original[i]) - PixelG(restored[i])),
+         std::abs(PixelB(original[i]) - PixelB(restored[i]))});
+  }
+  return max_err;
+}
+
+}  // namespace thinc

@@ -1,0 +1,27 @@
+// 8-bit palette quantization for the GoToMyPC baseline, which runs clients
+// at 8-bit color (Section 8.1 of the paper). Uses the uniform 3-3-2 palette;
+// the heavy compression GoToMyPC applies afterwards is modelled as LZSS over
+// the quantized bytes.
+#ifndef THINC_SRC_CODEC_PALETTE_H_
+#define THINC_SRC_CODEC_PALETTE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+// Quantizes ARGB pixels to 3-3-2 indexed bytes (1/4 the data).
+std::vector<uint8_t> PaletteQuantize(std::span<const Pixel> pixels);
+
+// Expands indexed bytes back to (approximate) ARGB.
+std::vector<Pixel> PaletteExpand(std::span<const uint8_t> indexed);
+
+// Maximum per-channel error introduced by one quantize/expand round trip.
+int MaxChannelError(std::span<const Pixel> original, std::span<const Pixel> restored);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_PALETTE_H_

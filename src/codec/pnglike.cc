@@ -1,0 +1,168 @@
+#include "src/codec/pnglike.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/codec/lzss.h"
+#include "src/codec/rle.h"
+
+namespace thinc {
+namespace {
+
+constexpr int kBpp = 4;  // bytes per pixel (ARGB)
+
+enum Filter : uint8_t {
+  kNone = 0,
+  kSub = 1,
+  kUp = 2,
+  kAverage = 3,
+  kPaeth = 4,
+};
+
+uint8_t PaethPredictor(uint8_t a, uint8_t b, uint8_t c) {
+  int p = static_cast<int>(a) + b - c;
+  int pa = std::abs(p - a);
+  int pb = std::abs(p - b);
+  int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) {
+    return a;
+  }
+  if (pb <= pc) {
+    return b;
+  }
+  return c;
+}
+
+// Applies `filter` to `row` (length n), with `prior` being the unfiltered
+// previous row (nullptr for the first row). Output written to `out`.
+void FilterRow(Filter filter, const uint8_t* row, const uint8_t* prior, size_t n,
+               uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = i >= kBpp ? row[i - kBpp] : 0;
+    uint8_t b = prior != nullptr ? prior[i] : 0;
+    uint8_t c = (prior != nullptr && i >= kBpp) ? prior[i - kBpp] : 0;
+    uint8_t pred = 0;
+    switch (filter) {
+      case kNone:
+        pred = 0;
+        break;
+      case kSub:
+        pred = a;
+        break;
+      case kUp:
+        pred = b;
+        break;
+      case kAverage:
+        pred = static_cast<uint8_t>((a + b) / 2);
+        break;
+      case kPaeth:
+        pred = PaethPredictor(a, b, c);
+        break;
+    }
+    out[i] = static_cast<uint8_t>(row[i] - pred);
+  }
+}
+
+void UnfilterRow(Filter filter, uint8_t* row, const uint8_t* prior, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = i >= kBpp ? row[i - kBpp] : 0;
+    uint8_t b = prior != nullptr ? prior[i] : 0;
+    uint8_t c = (prior != nullptr && i >= kBpp) ? prior[i - kBpp] : 0;
+    uint8_t pred = 0;
+    switch (filter) {
+      case kNone:
+        pred = 0;
+        break;
+      case kSub:
+        pred = a;
+        break;
+      case kUp:
+        pred = b;
+        break;
+      case kAverage:
+        pred = static_cast<uint8_t>((a + b) / 2);
+        break;
+      case kPaeth:
+        pred = PaethPredictor(a, b, c);
+        break;
+    }
+    row[i] = static_cast<uint8_t>(row[i] + pred);
+  }
+}
+
+uint64_t SumAbs(const uint8_t* data, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Interpret filtered bytes as signed deltas, as the PNG heuristic does.
+    int8_t s = static_cast<int8_t>(data[i]);
+    sum += static_cast<uint64_t>(std::abs(static_cast<int>(s)));
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<uint8_t> PngLikeEncode(std::span<const Pixel> pixels, int32_t width,
+                                   int32_t height) {
+  const size_t row_bytes = static_cast<size_t>(width) * kBpp;
+  std::vector<uint8_t> filtered;
+  filtered.reserve((row_bytes + 1) * height);
+  std::vector<uint8_t> trial(row_bytes);
+  std::vector<uint8_t> best(row_bytes);
+
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(pixels.data());
+  for (int32_t y = 0; y < height; ++y) {
+    const uint8_t* row = raw + static_cast<size_t>(y) * row_bytes;
+    const uint8_t* prior = y > 0 ? raw + static_cast<size_t>(y - 1) * row_bytes : nullptr;
+    Filter best_filter = kNone;
+    uint64_t best_score = UINT64_MAX;
+    for (Filter f : {kNone, kSub, kUp, kAverage, kPaeth}) {
+      FilterRow(f, row, prior, row_bytes, trial.data());
+      uint64_t score = SumAbs(trial.data(), row_bytes);
+      if (score < best_score) {
+        best_score = score;
+        best_filter = f;
+        std::swap(trial, best);
+      }
+    }
+    filtered.push_back(static_cast<uint8_t>(best_filter));
+    filtered.insert(filtered.end(), best.begin(), best.end());
+  }
+  // RLE collapses the long zero runs the filters produce on flat content
+  // (LZSS alone is limited by its 18-byte match cap); LZSS then handles the
+  // remaining repetition. Together they approximate DEFLATE's ratios.
+  return LzssEncode(RleEncode(filtered));
+}
+
+bool PngLikeDecode(std::span<const uint8_t> data, int32_t width, int32_t height,
+                   std::vector<Pixel>* pixels) {
+  std::vector<uint8_t> packed;
+  if (!LzssDecode(data, &packed)) {
+    return false;
+  }
+  std::vector<uint8_t> filtered;
+  if (!RleDecode(packed, &filtered)) {
+    return false;
+  }
+  const size_t row_bytes = static_cast<size_t>(width) * kBpp;
+  if (filtered.size() != (row_bytes + 1) * static_cast<size_t>(height)) {
+    return false;
+  }
+  pixels->assign(static_cast<size_t>(width) * height, 0);
+  uint8_t* raw = reinterpret_cast<uint8_t*>(pixels->data());
+  for (int32_t y = 0; y < height; ++y) {
+    const uint8_t* src = filtered.data() + static_cast<size_t>(y) * (row_bytes + 1);
+    uint8_t filter = src[0];
+    if (filter > kPaeth) {
+      return false;
+    }
+    uint8_t* row = raw + static_cast<size_t>(y) * row_bytes;
+    std::memcpy(row, src + 1, row_bytes);
+    const uint8_t* prior = y > 0 ? raw + static_cast<size_t>(y - 1) * row_bytes : nullptr;
+    UnfilterRow(static_cast<Filter>(filter), row, prior, row_bytes);
+  }
+  return true;
+}
+
+}  // namespace thinc

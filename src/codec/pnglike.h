@@ -1,0 +1,31 @@
+// PNG-style lossless image codec: per-scanline predictive filtering
+// (None/Sub/Up/Average/Paeth, chosen per row by the minimum-sum-of-absolute
+// -differences heuristic) followed by LZSS over the filtered byte stream.
+//
+// The THINC prototype compresses RAW pixel commands with PNG (Section 7);
+// this codec reproduces PNG's filtering stage exactly and substitutes LZSS
+// for DEFLATE, giving the same qualitative behaviour: excellent ratios on
+// synthetic/flat content, moderate on photographic content, with encode
+// cost roughly proportional to input size.
+#ifndef THINC_SRC_CODEC_PNGLIKE_H_
+#define THINC_SRC_CODEC_PNGLIKE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+// Encodes a row-major ARGB pixel array of the given geometry.
+std::vector<uint8_t> PngLikeEncode(std::span<const Pixel> pixels, int32_t width,
+                                   int32_t height);
+
+// Decodes; returns false on malformed input or geometry mismatch.
+bool PngLikeDecode(std::span<const uint8_t> data, int32_t width, int32_t height,
+                   std::vector<Pixel>* pixels);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_PNGLIKE_H_

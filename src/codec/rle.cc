@@ -1,0 +1,66 @@
+#include "src/codec/rle.h"
+
+namespace thinc {
+
+std::vector<uint8_t> RleEncode(std::span<const uint8_t> in) {
+  std::vector<uint8_t> out;
+  out.reserve(in.size() / 2 + 8);
+  size_t i = 0;
+  while (i < in.size()) {
+    // Measure the run starting at i.
+    size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 128) {
+      ++run;
+    }
+    if (run >= 3) {
+      out.push_back(static_cast<uint8_t>(257 - run));
+      out.push_back(in[i]);
+      i += run;
+      continue;
+    }
+    // Literal stretch: until the next >=3 run or 128 bytes.
+    size_t start = i;
+    size_t len = 0;
+    while (i < in.size() && len < 128) {
+      size_t r = 1;
+      while (i + r < in.size() && in[i + r] == in[i] && r < 3) {
+        ++r;
+      }
+      if (r >= 3) {
+        break;
+      }
+      i += 1;
+      len += 1;
+    }
+    out.push_back(static_cast<uint8_t>(len - 1));
+    out.insert(out.end(), in.begin() + start, in.begin() + start + len);
+  }
+  return out;
+}
+
+bool RleDecode(std::span<const uint8_t> in, std::vector<uint8_t>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < in.size()) {
+    uint8_t ctrl = in[i++];
+    if (ctrl < 128) {
+      size_t len = static_cast<size_t>(ctrl) + 1;
+      if (i + len > in.size()) {
+        return false;
+      }
+      out->insert(out->end(), in.begin() + i, in.begin() + i + len);
+      i += len;
+    } else if (ctrl == 128) {
+      return false;  // reserved
+    } else {
+      if (i >= in.size()) {
+        return false;
+      }
+      size_t len = 257 - static_cast<size_t>(ctrl);
+      out->insert(out->end(), len, in[i++]);
+    }
+  }
+  return true;
+}
+
+}  // namespace thinc

@@ -1,0 +1,23 @@
+// Byte-oriented run-length encoding with a control-byte scheme (PackBits
+// style): a control byte n in [0,127] means "n+1 literal bytes follow";
+// n in [129,255] means "repeat the next byte 257-n times". 128 is unused.
+// Simple, fast, and effective on the flat-color content that dominates
+// desktop screens — the kind of "cheap" compression the adaptive baselines
+// fall back to on fast links.
+#ifndef THINC_SRC_CODEC_RLE_H_
+#define THINC_SRC_CODEC_RLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace thinc {
+
+std::vector<uint8_t> RleEncode(std::span<const uint8_t> in);
+
+// Returns false on malformed input (truncated runs).
+bool RleDecode(std::span<const uint8_t> in, std::vector<uint8_t>* out);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_RLE_H_

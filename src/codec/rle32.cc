@@ -1,0 +1,84 @@
+#include "src/codec/rle32.h"
+
+namespace thinc {
+namespace {
+
+void PutPixel(std::vector<uint8_t>* out, Pixel p) {
+  out->push_back(static_cast<uint8_t>(p));
+  out->push_back(static_cast<uint8_t>(p >> 8));
+  out->push_back(static_cast<uint8_t>(p >> 16));
+  out->push_back(static_cast<uint8_t>(p >> 24));
+}
+
+bool GetPixel(std::span<const uint8_t> in, size_t* i, Pixel* p) {
+  if (*i + 4 > in.size()) {
+    return false;
+  }
+  *p = static_cast<Pixel>(in[*i]) | (static_cast<Pixel>(in[*i + 1]) << 8) |
+       (static_cast<Pixel>(in[*i + 2]) << 16) | (static_cast<Pixel>(in[*i + 3]) << 24);
+  *i += 4;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Rle32Encode(std::span<const Pixel> in) {
+  std::vector<uint8_t> out;
+  out.reserve(in.size());
+  size_t i = 0;
+  while (i < in.size()) {
+    size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 129) {
+      ++run;
+    }
+    if (run >= 2) {
+      out.push_back(static_cast<uint8_t>(126 + run));
+      PutPixel(&out, in[i]);
+      i += run;
+      continue;
+    }
+    // Literal stretch until the next run of >= 2.
+    size_t start = i;
+    size_t len = 0;
+    while (i < in.size() && len < 128) {
+      if (i + 1 < in.size() && in[i + 1] == in[i]) {
+        break;
+      }
+      ++i;
+      ++len;
+    }
+    out.push_back(static_cast<uint8_t>(len - 1));
+    for (size_t k = start; k < start + len; ++k) {
+      PutPixel(&out, in[k]);
+    }
+  }
+  return out;
+}
+
+bool Rle32Decode(std::span<const uint8_t> in, std::vector<Pixel>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < in.size()) {
+    uint8_t ctrl = in[i++];
+    if (ctrl < 128) {
+      size_t len = static_cast<size_t>(ctrl) + 1;
+      for (size_t k = 0; k < len; ++k) {
+        Pixel p;
+        if (!GetPixel(in, &i, &p)) {
+          return false;
+        }
+        out->push_back(p);
+      }
+    } else {
+      size_t len = static_cast<size_t>(ctrl) - 126;
+      Pixel p;
+      if (!GetPixel(in, &i, &p)) {
+        return false;
+      }
+      out->insert(out->end(), len, p);
+    }
+  }
+  return true;
+}
+
+}  // namespace thinc

@@ -1,0 +1,27 @@
+// Pixel-granular run-length encoding (32-bit words), the natural RLE for
+// framebuffer content: flat backgrounds become long single-pixel runs that
+// byte-wise RLE cannot see across the 4-byte pixel pattern. Used by the
+// Sun Ray baseline's fast-link encoder.
+//
+// Format: [u8 control][...]: control n in [0,127] = n+1 literal pixels
+// follow (4 bytes each); n in [128,255] = repeat next pixel n-126 times
+// (runs of 2..129).
+#ifndef THINC_SRC_CODEC_RLE32_H_
+#define THINC_SRC_CODEC_RLE32_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+std::vector<uint8_t> Rle32Encode(std::span<const Pixel> in);
+
+// Returns false on malformed input.
+bool Rle32Decode(std::span<const uint8_t> in, std::vector<Pixel>* out);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_RLE32_H_

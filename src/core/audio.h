@@ -1,0 +1,85 @@
+// Virtual audio driver (Section 4.2 / 7 of the paper).
+//
+// The prototype interposes at the ALSA driver interface: applications write
+// PCM into what they believe is a sound card, and a per-client daemon ships
+// the data over the network with server timestamps. Here the driver is an
+// event-loop component: an application (workload) opens a stream with a
+// given PCM format, the driver slices its output into fixed-period chunks,
+// timestamps each, and hands them to a sink (ThincServer::SubmitAudio, or a
+// baseline's audio path).
+#ifndef THINC_SRC_CORE_AUDIO_H_
+#define THINC_SRC_CORE_AUDIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/util/event_loop.h"
+#include "src/util/logging.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+
+struct PcmFormat {
+  int32_t sample_rate = 44100;
+  int32_t channels = 2;
+  int32_t bytes_per_sample = 2;  // 16-bit
+
+  int64_t BytesPerSecond() const {
+    return static_cast<int64_t>(sample_rate) * channels * bytes_per_sample;
+  }
+};
+
+class VirtualAudioDriver {
+ public:
+  // `sink` receives (pcm bytes, server timestamp) per period.
+  using SinkFn = std::function<void(std::span<const uint8_t>, SimTime)>;
+
+  VirtualAudioDriver(EventLoop* loop, PcmFormat format, SimTime period, SinkFn sink)
+      : loop_(loop), format_(format), period_(period), sink_(std::move(sink)),
+        prng_(0xA0D10) {
+    THINC_CHECK(period > 0);
+  }
+
+  // Streams synthetic PCM for `duration`; chunks are emitted on the event
+  // loop at real-time pacing.
+  void StartStream(SimTime duration) {
+    remaining_ = duration;
+    EmitChunk();
+  }
+
+  bool active() const { return remaining_ > 0; }
+  int64_t bytes_emitted() const { return bytes_emitted_; }
+
+ private:
+  void EmitChunk() {
+    if (remaining_ <= 0) {
+      return;
+    }
+    SimTime span = std::min(period_, remaining_);
+    size_t bytes = static_cast<size_t>(format_.BytesPerSecond() * span / kSecond);
+    std::vector<uint8_t> pcm(bytes);
+    for (uint8_t& b : pcm) {
+      b = static_cast<uint8_t>(prng_.Next());
+    }
+    sink_(pcm, loop_->now());
+    bytes_emitted_ += static_cast<int64_t>(bytes);
+    remaining_ -= span;
+    if (remaining_ > 0) {
+      loop_->Schedule(period_, [this] { EmitChunk(); });
+    }
+  }
+
+  EventLoop* loop_;
+  PcmFormat format_;
+  SimTime period_;
+  SinkFn sink_;
+  Prng prng_;
+  SimTime remaining_ = 0;
+  int64_t bytes_emitted_ = 0;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CORE_AUDIO_H_

@@ -1,0 +1,446 @@
+#include "src/core/command.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/codec/pnglike.h"
+#include "src/util/cpu.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+namespace {
+
+// Per-rect encoding markers inside a RAW payload.
+constexpr uint8_t kRawUncompressed = 0;
+constexpr uint8_t kRawPngLike = 1;
+
+std::vector<uint8_t> FinishFrame(MsgType type, WireWriter* writer) {
+  std::vector<uint8_t> payload = writer->Take();
+  return BuildFrame(type, payload);
+}
+
+}  // namespace
+
+// --- RawCommand -------------------------------------------------------------
+
+RawCommand::RawCommand(const Rect& rect, std::vector<Pixel> pixels)
+    : rect_(rect), pixels_(std::move(pixels)), region_(rect) {
+  THINC_CHECK(static_cast<int64_t>(pixels_.size()) == rect.area());
+}
+
+bool RawCommand::TryAppendRows(const Rect& rect, std::span<const Pixel> pixels) {
+  if (rect.x != rect_.x || rect.width != rect_.width || rect.y != rect_.bottom()) {
+    return false;
+  }
+  // Only merge while unclipped (region covers the whole rect).
+  if (region_ != Region(rect_)) {
+    return false;
+  }
+  pixels_.insert(pixels_.end(), pixels.begin(), pixels.end());
+  rect_.height += rect.height;
+  region_ = Region(rect_);
+  InvalidateCache();
+  return true;
+}
+
+void RawCommand::InvalidateCache() const {
+  encoded_valid_ = false;
+  encoded_frame_.clear();
+  encode_cost_ = 0;
+}
+
+void RawCommand::EnsureEncoded() const {
+  if (encoded_valid_) {
+    return;
+  }
+  WireWriter w;
+  w.RegionVal(region_);
+  for (const Rect& r : region_.rects()) {
+    std::vector<Pixel> sub = ExtractRect(r);
+    const size_t raw_bytes = sub.size() * sizeof(Pixel);
+    if (compression_enabled_ && r.area() >= kCompressThresholdPixels) {
+      std::vector<uint8_t> compressed = PngLikeEncode(sub, r.width, r.height);
+      if (compressed.size() < raw_bytes) {
+        w.U8(kRawPngLike);
+        w.U32(static_cast<uint32_t>(compressed.size()));
+        w.Bytes(compressed);
+        encode_cost_ += cpucost::kPngLikePerByte * static_cast<double>(raw_bytes);
+        continue;
+      }
+      // Compression attempted but did not win; the attempt still cost CPU.
+      encode_cost_ += cpucost::kPngLikePerByte * static_cast<double>(raw_bytes);
+    }
+    w.U8(kRawUncompressed);
+    w.U32(static_cast<uint32_t>(raw_bytes));
+    w.Bytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(sub.data()),
+                                     raw_bytes));
+    encode_cost_ += 0.002 * static_cast<double>(raw_bytes);
+  }
+  encoded_frame_ = FinishFrame(MsgType::kRaw, &w);
+  encoded_valid_ = true;
+}
+
+size_t RawCommand::EncodedSize() const {
+  EnsureEncoded();
+  return encoded_frame_.size();
+}
+
+std::vector<uint8_t> RawCommand::EncodeFrame() const {
+  EnsureEncoded();
+  return encoded_frame_;
+}
+
+double RawCommand::EncodeCpuCost() const {
+  EnsureEncoded();
+  return encode_cost_;
+}
+
+std::vector<Pixel> RawCommand::ExtractRect(const Rect& r) const {
+  THINC_CHECK(rect_.Contains(r));
+  std::vector<Pixel> sub(static_cast<size_t>(r.area()));
+  for (int32_t y = 0; y < r.height; ++y) {
+    const Pixel* from = pixels_.data() +
+                        static_cast<size_t>(r.y - rect_.y + y) * rect_.width +
+                        (r.x - rect_.x);
+    std::copy(from, from + r.width, sub.begin() + static_cast<size_t>(y) * r.width);
+  }
+  return sub;
+}
+
+std::unique_ptr<Command> RawCommand::Clone() const {
+  auto clone = std::make_unique<RawCommand>(rect_, pixels_);
+  clone->region_ = region_;
+  clone->compression_enabled_ = compression_enabled_;
+  return clone;
+}
+
+void RawCommand::Translate(int32_t dx, int32_t dy) {
+  rect_ = rect_.Translated(dx, dy);
+  region_ = region_.Translated(dx, dy);
+  InvalidateCache();
+}
+
+bool RawCommand::RestrictTo(const Region& keep) {
+  Region next = region_.Intersect(keep);
+  if (next == region_) {
+    return !next.empty();
+  }
+  region_ = std::move(next);
+  InvalidateCache();
+  return !region_.empty();
+}
+
+std::unique_ptr<Command> RawCommand::SplitOff(size_t max_bytes) {
+  // Splitting overhead is only worthwhile for reasonably sized chunks.
+  constexpr size_t kMinSplit = 4096;
+  if (max_bytes < kMinSplit) {
+    return nullptr;
+  }
+  Rect bounds = region_.Bounds();
+  // Estimate rows that fit uncompressed (conservative: compression only
+  // shrinks the result).
+  size_t overhead = 256;
+  size_t row_bytes = static_cast<size_t>(bounds.width) * sizeof(Pixel);
+  if (row_bytes == 0 || max_bytes <= overhead) {
+    return nullptr;
+  }
+  int32_t rows = static_cast<int32_t>((max_bytes - overhead) / row_bytes);
+  if (rows < 1 || rows >= bounds.height) {
+    return nullptr;
+  }
+  Rect top{bounds.x, bounds.y, bounds.width, rows};
+  Region head = region_.Intersect(top);
+  Region tail = region_.Subtract(top);
+  if (head.empty() || tail.empty()) {
+    return nullptr;
+  }
+  auto split = std::make_unique<RawCommand>(rect_, pixels_);
+  split->region_ = std::move(head);
+  split->compression_enabled_ = compression_enabled_;
+  split->InvalidateCache();
+  region_ = std::move(tail);
+  InvalidateCache();
+  return split;
+}
+
+void RawCommand::Apply(Surface* fb) const {
+  for (const Rect& r : region_.rects()) {
+    for (int32_t y = 0; y < r.height; ++y) {
+      const Pixel* from = pixels_.data() +
+                          static_cast<size_t>(r.y - rect_.y + y) * rect_.width +
+                          (r.x - rect_.x);
+      fb->PutPixels(Rect{r.x, r.y + y, r.width, 1},
+                    std::span<const Pixel>(from, static_cast<size_t>(r.width)));
+    }
+  }
+}
+
+// --- CopyCommand -------------------------------------------------------------
+
+CopyCommand::CopyCommand(const Region& dst_region, Point delta)
+    : region_(dst_region), delta_(delta) {}
+
+size_t CopyCommand::EncodedSize() const {
+  return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 8;
+}
+
+std::vector<uint8_t> CopyCommand::EncodeFrame() const {
+  WireWriter w;
+  w.RegionVal(region_);
+  w.PointVal(delta_);
+  return FinishFrame(MsgType::kCopy, &w);
+}
+
+std::unique_ptr<Command> CopyCommand::Clone() const {
+  return std::make_unique<CopyCommand>(region_, delta_);
+}
+
+void CopyCommand::Translate(int32_t dx, int32_t dy) {
+  // Destination moves; the source moves with it (delta unchanged) because
+  // offscreen replay moves the whole coordinate frame.
+  region_ = region_.Translated(dx, dy);
+}
+
+bool CopyCommand::RestrictTo(const Region& keep) {
+  region_ = region_.Intersect(keep);
+  return !region_.empty();
+}
+
+void CopyCommand::Apply(Surface* fb) const {
+  // The copy is one atomic operation: snapshot every source pixel before
+  // writing, so a multi-rect (clipped) region cannot read pixels an earlier
+  // rect of the same command already overwrote.
+  std::vector<std::pair<Rect, std::vector<Pixel>>> staged;
+  staged.reserve(region_.rect_count());
+  for (const Rect& r : region_.rects()) {
+    Rect src = r.Translated(delta_.x, delta_.y).Intersect(fb->bounds());
+    Rect dst = src.Translated(-delta_.x, -delta_.y).Intersect(fb->bounds());
+    src = dst.Translated(delta_.x, delta_.y);
+    if (dst.empty()) {
+      continue;
+    }
+    staged.emplace_back(dst, fb->GetPixels(src));
+  }
+  for (const auto& [dst, pixels] : staged) {
+    fb->PutPixels(dst, pixels);
+  }
+}
+
+// --- SfillCommand -------------------------------------------------------------
+
+SfillCommand::SfillCommand(const Region& region, Pixel color)
+    : region_(region), color_(color) {}
+
+size_t SfillCommand::EncodedSize() const {
+  return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 4;
+}
+
+std::vector<uint8_t> SfillCommand::EncodeFrame() const {
+  WireWriter w;
+  w.RegionVal(region_);
+  w.U32(color_);
+  return FinishFrame(MsgType::kSfill, &w);
+}
+
+std::unique_ptr<Command> SfillCommand::Clone() const {
+  return std::make_unique<SfillCommand>(region_, color_);
+}
+
+void SfillCommand::Translate(int32_t dx, int32_t dy) {
+  region_ = region_.Translated(dx, dy);
+}
+
+bool SfillCommand::RestrictTo(const Region& keep) {
+  region_ = region_.Intersect(keep);
+  return !region_.empty();
+}
+
+void SfillCommand::Apply(Surface* fb) const { fb->FillRegion(region_, color_); }
+
+// --- PfillCommand -------------------------------------------------------------
+
+PfillCommand::PfillCommand(const Region& region, Surface tile, Point origin)
+    : region_(region), tile_(std::move(tile)), origin_(origin) {
+  THINC_CHECK(!tile_.empty());
+}
+
+size_t PfillCommand::EncodedSize() const {
+  return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 8 + 4 +
+         static_cast<size_t>(tile_.width()) * tile_.height() * sizeof(Pixel);
+}
+
+std::vector<uint8_t> PfillCommand::EncodeFrame() const {
+  WireWriter w;
+  w.RegionVal(region_);
+  w.PointVal(origin_);
+  w.U16(static_cast<uint16_t>(tile_.width()));
+  w.U16(static_cast<uint16_t>(tile_.height()));
+  std::span<const Pixel> px = tile_.pixels();
+  w.Bytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(px.data()),
+                                   px.size() * sizeof(Pixel)));
+  return FinishFrame(MsgType::kPfill, &w);
+}
+
+std::unique_ptr<Command> PfillCommand::Clone() const {
+  return std::make_unique<PfillCommand>(region_, tile_, origin_);
+}
+
+void PfillCommand::Translate(int32_t dx, int32_t dy) {
+  region_ = region_.Translated(dx, dy);
+  origin_ = Point{origin_.x + dx, origin_.y + dy};
+}
+
+bool PfillCommand::RestrictTo(const Region& keep) {
+  region_ = region_.Intersect(keep);
+  return !region_.empty();
+}
+
+void PfillCommand::Apply(Surface* fb) const {
+  fb->FillTiled(region_, tile_, origin_);
+}
+
+// --- BitmapCommand -------------------------------------------------------------
+
+BitmapCommand::BitmapCommand(const Region& region, Bitmap bitmap, Point origin,
+                             Pixel fg, Pixel bg, bool transparent_bg)
+    : region_(region), bitmap_(std::move(bitmap)), origin_(origin), fg_(fg), bg_(bg),
+      transparent_bg_(transparent_bg) {}
+
+size_t BitmapCommand::EncodedSize() const {
+  return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 8 + 8 + 1 + 8 +
+         bitmap_.byte_size();
+}
+
+std::vector<uint8_t> BitmapCommand::EncodeFrame() const {
+  WireWriter w;
+  w.RegionVal(region_);
+  w.PointVal(origin_);
+  w.U32(fg_);
+  w.U32(bg_);
+  w.U8(transparent_bg_ ? 1 : 0);
+  w.BitmapVal(bitmap_);
+  return FinishFrame(MsgType::kBitmap, &w);
+}
+
+std::unique_ptr<Command> BitmapCommand::Clone() const {
+  return std::make_unique<BitmapCommand>(region_, bitmap_, origin_, fg_, bg_,
+                                         transparent_bg_);
+}
+
+void BitmapCommand::Translate(int32_t dx, int32_t dy) {
+  region_ = region_.Translated(dx, dy);
+  origin_ = Point{origin_.x + dx, origin_.y + dy};
+}
+
+bool BitmapCommand::RestrictTo(const Region& keep) {
+  region_ = region_.Intersect(keep);
+  return !region_.empty();
+}
+
+void BitmapCommand::Apply(Surface* fb) const {
+  fb->FillStippled(region_, bitmap_, origin_, fg_, bg_, transparent_bg_);
+}
+
+// --- Decoding ----------------------------------------------------------------
+
+std::unique_ptr<Command> DecodeCommand(uint8_t type, std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kRaw: {
+      Region region;
+      if (!r.RegionVal(&region) || region.empty()) {
+        return nullptr;
+      }
+      Rect bounds = region.Bounds();
+      std::vector<Pixel> pixels(static_cast<size_t>(bounds.area()), 0);
+      for (const Rect& rect : region.rects()) {
+        uint8_t mode;
+        uint32_t len;
+        if (!r.U8(&mode) || !r.U32(&len)) {
+          return nullptr;
+        }
+        std::vector<uint8_t> data;
+        if (!r.Bytes(len, &data)) {
+          return nullptr;
+        }
+        std::vector<Pixel> sub;
+        if (mode == kRawPngLike) {
+          if (!PngLikeDecode(data, rect.width, rect.height, &sub)) {
+            return nullptr;
+          }
+        } else if (mode == kRawUncompressed) {
+          if (data.size() != static_cast<size_t>(rect.area()) * sizeof(Pixel)) {
+            return nullptr;
+          }
+          sub.resize(static_cast<size_t>(rect.area()));
+          std::memcpy(sub.data(), data.data(), data.size());
+        } else {
+          return nullptr;
+        }
+        for (int32_t y = 0; y < rect.height; ++y) {
+          Pixel* to = pixels.data() +
+                      static_cast<size_t>(rect.y - bounds.y + y) * bounds.width +
+                      (rect.x - bounds.x);
+          std::copy(sub.begin() + static_cast<size_t>(y) * rect.width,
+                    sub.begin() + static_cast<size_t>(y + 1) * rect.width, to);
+        }
+      }
+      auto cmd = std::make_unique<RawCommand>(bounds, std::move(pixels));
+      cmd->RestrictTo(region);
+      return cmd;
+    }
+    case MsgType::kCopy: {
+      Region region;
+      Point delta;
+      if (!r.RegionVal(&region) || !r.PointVal(&delta) || region.empty()) {
+        return nullptr;
+      }
+      return std::make_unique<CopyCommand>(region, delta);
+    }
+    case MsgType::kSfill: {
+      Region region;
+      uint32_t color;
+      if (!r.RegionVal(&region) || !r.U32(&color) || region.empty()) {
+        return nullptr;
+      }
+      return std::make_unique<SfillCommand>(region, color);
+    }
+    case MsgType::kPfill: {
+      Region region;
+      Point origin;
+      uint16_t tw, th;
+      if (!r.RegionVal(&region) || !r.PointVal(&origin) || !r.U16(&tw) || !r.U16(&th) ||
+          region.empty() || tw == 0 || th == 0) {
+        return nullptr;
+      }
+      std::vector<uint8_t> data;
+      if (!r.Bytes(static_cast<size_t>(tw) * th * sizeof(Pixel), &data)) {
+        return nullptr;
+      }
+      Surface tile(tw, th);
+      std::vector<Pixel> px(static_cast<size_t>(tw) * th);
+      std::memcpy(px.data(), data.data(), data.size());
+      tile.PutPixels(Rect{0, 0, tw, th}, px);
+      return std::make_unique<PfillCommand>(region, std::move(tile), origin);
+    }
+    case MsgType::kBitmap: {
+      Region region;
+      Point origin;
+      uint32_t fg, bg;
+      uint8_t transparent;
+      Bitmap bitmap;
+      if (!r.RegionVal(&region) || !r.PointVal(&origin) || !r.U32(&fg) || !r.U32(&bg) ||
+          !r.U8(&transparent) || !r.BitmapVal(&bitmap) || region.empty() ||
+          bitmap.empty()) {
+        return nullptr;
+      }
+      return std::make_unique<BitmapCommand>(region, std::move(bitmap), origin, fg, bg,
+                                             transparent != 0);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace thinc

@@ -1,0 +1,114 @@
+// Shortest-Remaining-Size-First command scheduler (Section 5 of the paper).
+//
+// The per-client update buffer keeps commands awaiting transmission. It
+// combines the command-queue overwrite semantics (outdated commands are
+// evicted as the screen changes) with a multi-queue SRSF scheduler:
+//
+//   * Ten size-banded queues with power-of-two boundaries; commands are
+//     placed by their *remaining* encoded size and flushed in increasing
+//     band order, FIFO within a band. SRSF approximates SRPT, minimizing
+//     mean response time for interactive updates.
+//   * A real-time queue that preempts all bands: small/medium commands whose
+//     output lands near the last user input event are delivered first, since
+//     a video driver has no notion of "button" but does know where the user
+//     just clicked.
+//   * Transparent commands depend on commands drawn before them; each is
+//     placed at the back of the band occupied by the largest command it
+//     overlaps (output or source overlap), so every dependency flushes
+//     before it does.
+#ifndef THINC_SRC_CORE_SCHEDULER_H_
+#define THINC_SRC_CORE_SCHEDULER_H_
+
+#include <array>
+#include <deque>
+#include <memory>
+
+#include "src/core/command.h"
+#include "src/core/command_queue.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+struct SchedulerOptions {
+  // Ablation knob (bench_ablation_scheduler): single FIFO queue instead of
+  // SRSF bands.
+  bool fifo = false;
+  // Real-time region half-size around the last input event, and how long an
+  // input event keeps its region "hot".
+  int32_t rt_halo = 48;
+  SimTime rt_window = 500 * kMillisecond;
+  // Commands larger than this never enter the real-time queue ("small to
+  // medium-sized", Section 5).
+  size_t rt_max_bytes = 16 << 10;
+};
+
+class UpdateScheduler {
+ public:
+  static constexpr int kNumBands = 10;
+  // Band i holds sizes in [kBandBase << (i-1), kBandBase << i); band 0 holds
+  // anything smaller, the last band anything larger.
+  static constexpr size_t kBandBase = 128;
+
+  explicit UpdateScheduler(SchedulerOptions options = {});
+
+  // The band Insert() would choose for `cmd` right now (-1 for the
+  // real-time queue). Exposed so callers can decide whether buffered COPYs
+  // must be materialized before this command is inserted.
+  int PlannedBand(const Command& cmd, SimTime now) const;
+
+  // Inserts with overwrite semantics across *all* buffered commands (the
+  // client-buffer eviction that keeps outdated content off the wire).
+  // `min_band` floors the placement (used to keep a command behind state it
+  // depends on even when eviction changed the buffer since planning).
+  void Insert(std::unique_ptr<Command> cmd, SimTime now, int min_band = -1);
+
+  // Reinserts the remainder of a split command by its remaining size; it
+  // goes to the *front* of its band so delivery of its segments stays
+  // contiguous unless something strictly smaller arrives.
+  void Reinsert(std::unique_ptr<Command> cmd);
+
+  // Pops the next command in flush order (real-time queue first, then bands
+  // in increasing order). Null when empty.
+  std::unique_ptr<Command> PopNext();
+
+  // Notes a user input event (drives the real-time region).
+  void NoteInput(Point location, SimTime now);
+
+  // New drawing, about to be inserted at `incoming_band`, will overwrite
+  // `overwritten`. A buffered COPY whose *source* intersects it AND which
+  // sits in a band *above* incoming_band would flush after the new command
+  // and read the wrong framebuffer content at the client; the affected part
+  // of each such copy's destination is removed from the buffer and returned
+  // so the caller can materialize it as RAW pixels (the untouched remainder
+  // stays an accelerated COPY). Copies at or below incoming_band flush
+  // first, so they are safe and left alone.
+  std::vector<Region> SplitCopiesReading(const Region& overwritten,
+                                         int incoming_band);
+
+  bool empty() const { return count_ == 0; }
+  size_t count() const { return count_; }
+  size_t TotalBytes() const;
+  // Which band a command of `bytes` maps to (exposed for tests).
+  static int BandFor(size_t bytes);
+
+ private:
+  bool IsRealtime(const Command& cmd, SimTime now) const;
+  // Stamps an arrival sequence number (no-op if already stamped).
+  void AssignSeq(Command* cmd);
+  // Index (band) of the largest command overlapping `cmd`'s dependencies,
+  // or -1 when it has none buffered.
+  int DependencyBand(const Command& cmd) const;
+  void Evict(const Region& incoming);
+
+  SchedulerOptions options_;
+  int64_t next_seq_ = 0;
+  std::array<std::deque<std::unique_ptr<Command>>, kNumBands> bands_;
+  std::deque<std::unique_ptr<Command>> realtime_;
+  size_t count_ = 0;
+  Point last_input_{-10000, -10000};
+  SimTime last_input_time_ = -1;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CORE_SCHEDULER_H_

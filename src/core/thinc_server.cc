@@ -1,0 +1,582 @@
+#include "src/core/thinc_server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/raster/fant.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+namespace {
+
+// Shared transport key (the prototype derives per-session keys via PAM; a
+// fixed key suffices for the simulation — both ends must simply agree).
+constexpr uint8_t kTransportKey[16] = {0x54, 0x48, 0x49, 0x4E, 0x43, 0x2D, 0x4B, 0x45,
+                                       0x59, 0x2D, 0x30, 0x30, 0x30, 0x31, 0x00, 0x01};
+
+// Per-command translation bookkeeping overhead (Section 4.1 argues this is
+// negligible next to the rendering work, which WindowServer charges).
+constexpr double kTranslateCost = 1.0;
+
+}  // namespace
+
+ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
+                         ThincServerOptions options)
+    : loop_(loop), conn_(conn), cpu_(cpu), options_(options),
+      scheduler_(options.scheduler) {
+  if (options_.encrypt) {
+    tx_cipher_.emplace(kTransportKey);
+    rx_cipher_.emplace(kTransportKey);
+  }
+  conn_->SetReceiver(Connection::kServer,
+                     [this](std::span<const uint8_t> data) { OnReceive(data); });
+  conn_->SetWritable(Connection::kServer, [this] { ScheduleFlush(0); });
+}
+
+// --- Translation hooks -------------------------------------------------------
+
+void ThincServer::OnFillSolid(DrawableId dst, const Region& region, Pixel color) {
+  cpu_->Charge(kTranslateCost);
+  Emit(dst, std::make_unique<SfillCommand>(region, color));
+}
+
+void ThincServer::OnFillTiled(DrawableId dst, const Region& region, const Surface& tile,
+                              Point origin) {
+  cpu_->Charge(kTranslateCost);
+  Emit(dst, std::make_unique<PfillCommand>(region, tile, origin));
+}
+
+void ThincServer::OnFillStippled(DrawableId dst, const Region& region,
+                                 const Bitmap& stipple, Point origin, Pixel fg,
+                                 Pixel bg, bool transparent_bg) {
+  cpu_->Charge(kTranslateCost);
+  Emit(dst, std::make_unique<BitmapCommand>(region, stipple, origin, fg, bg,
+                                            transparent_bg));
+}
+
+void ThincServer::OnPutImage(DrawableId dst, const Rect& rect,
+                             std::span<const Pixel> pixels) {
+  cpu_->Charge(kTranslateCost);
+  auto cmd = std::make_unique<RawCommand>(
+      rect, std::vector<Pixel>(pixels.begin(), pixels.end()));
+  cmd->set_compression_enabled(options_.compress_raw);
+  Emit(dst, std::move(cmd));
+}
+
+void ThincServer::OnComposite(DrawableId dst, const Rect& rect,
+                              std::span<const Pixel> blended) {
+  // The window server already composited in software (no client-side
+  // composition hardware in the emulated client); the blended result is
+  // opaque RAW content.
+  OnPutImage(dst, rect, blended);
+}
+
+void ThincServer::OnCopy(DrawableId src, DrawableId dst, const Rect& src_rect,
+                         Point dst_origin) {
+  cpu_->Charge(kTranslateCost);
+  const Rect dst_rect{dst_origin.x, dst_origin.y, src_rect.width, src_rect.height};
+
+  if (!IsOffscreen(src) && !IsOffscreen(dst)) {
+    // Screen-to-screen: the client can do this from its own framebuffer —
+    // the scroll/window-move accelerator.
+    Point delta{src_rect.x - dst_origin.x, src_rect.y - dst_origin.y};
+    InsertOutgoing(std::make_unique<CopyCommand>(Region(dst_rect), delta));
+    return;
+  }
+
+  if (IsOffscreen(src)) {
+    // Extract the command group drawing src_rect. With offscreen tracking
+    // disabled (ablation) the queue is absent/empty, so everything comes out
+    // as residual RAW read from the pixmap — exactly the "ignore offscreen,
+    // send raw pixels" behaviour of conventional thin clients.
+    static const CommandQueue kEmptyQueue;
+    const CommandQueue* queue = &kEmptyQueue;
+    auto it = offscreen_.find(src);
+    if (options_.offscreen_tracking && it != offscreen_.end()) {
+      queue = &it->second;
+    }
+    std::vector<std::unique_ptr<Command>> group =
+        queue->ExtractForCopy(src_rect, dst_origin, window_server_->SurfaceOf(src));
+    for (auto& cmd : group) {
+      if (cmd->type() == MsgType::kRaw) {
+        static_cast<RawCommand*>(cmd.get())
+            ->set_compression_enabled(options_.compress_raw);
+      }
+      Emit(dst, std::move(cmd));
+    }
+    return;
+  }
+
+  // Screen-to-pixmap: the copied content's provenance is the screen; record
+  // it as RAW pixels read from the (already updated) destination pixmap.
+  if (options_.offscreen_tracking) {
+    const Surface& dst_surface = window_server_->SurfaceOf(dst);
+    Rect clipped = dst_rect.Intersect(dst_surface.bounds());
+    if (!clipped.empty()) {
+      auto raw =
+          std::make_unique<RawCommand>(clipped, dst_surface.GetPixels(clipped));
+      raw->set_compression_enabled(options_.compress_raw);
+      offscreen_[dst].Insert(std::move(raw));
+    }
+  }
+}
+
+void ThincServer::OnCreatePixmap(DrawableId id, int32_t width, int32_t height) {
+  if (options_.offscreen_tracking) {
+    offscreen_[id];  // create an empty queue
+  }
+}
+
+void ThincServer::OnDestroyPixmap(DrawableId id) { offscreen_.erase(id); }
+
+void ThincServer::Emit(DrawableId dst, std::unique_ptr<Command> cmd) {
+  if (cmd->region().empty()) {
+    return;
+  }
+  if (IsOffscreen(dst)) {
+    if (options_.offscreen_tracking) {
+      offscreen_[dst].Insert(std::move(cmd));
+    }
+    // Without tracking, offscreen drawing is invisible to the protocol until
+    // copied onscreen.
+    return;
+  }
+  InsertOutgoing(std::move(cmd));
+}
+
+// --- Viewport resize ---------------------------------------------------------
+
+std::vector<std::unique_ptr<Command>> ThincServer::ResizeForViewport(
+    std::unique_ptr<Command> cmd) {
+  std::vector<std::unique_ptr<Command>> out;
+  const int32_t num = viewport_->num;
+  const int32_t den = viewport_->den;
+  auto scale_rect = [num, den](const Rect& r) {
+    Region scaled = Region(r).Scaled(num, den);
+    return scaled.Bounds();
+  };
+
+  switch (cmd->type()) {
+    case MsgType::kSfill: {
+      auto& sfill = static_cast<SfillCommand&>(*cmd);
+      Region scaled = sfill.region().Scaled(num, den);
+      if (!scaled.empty()) {
+        out.push_back(std::make_unique<SfillCommand>(scaled, sfill.color()));
+      }
+      return out;
+    }
+    case MsgType::kPfill: {
+      auto& pfill = static_cast<PfillCommand&>(*cmd);
+      Region scaled = pfill.region().Scaled(num, den);
+      int32_t tw = std::max<int32_t>(1, pfill.tile().width() * num / den);
+      int32_t th = std::max<int32_t>(1, pfill.tile().height() * num / den);
+      cpu_->Charge(static_cast<double>(pfill.tile().bounds().area()) *
+                   cpucost::kResamplePerPixel);
+      Surface tile = FantResample(pfill.tile(), tw, th);
+      Point origin{pfill.origin().x * num / den, pfill.origin().y * num / den};
+      if (!scaled.empty()) {
+        out.push_back(std::make_unique<PfillCommand>(scaled, std::move(tile), origin));
+      }
+      return out;
+    }
+    case MsgType::kRaw: {
+      auto& raw = static_cast<RawCommand&>(*cmd);
+      for (const Rect& r : raw.region().rects()) {
+        Rect dst = scale_rect(r);
+        if (dst.empty()) {
+          continue;
+        }
+        Surface src(r.width, r.height);
+        src.PutPixels(Rect{0, 0, r.width, r.height}, raw.ExtractRect(r));
+        cpu_->Charge(static_cast<double>(r.area()) * cpucost::kResamplePerPixel);
+        Surface scaled = FantResample(src, dst.width, dst.height);
+        auto piece = std::make_unique<RawCommand>(
+            dst, std::vector<Pixel>(scaled.pixels().begin(), scaled.pixels().end()));
+        piece->set_compression_enabled(options_.compress_raw);
+        out.push_back(std::move(piece));
+      }
+      return out;
+    }
+    case MsgType::kBitmap:
+    case MsgType::kCopy: {
+      // BITMAP cannot be resized without destroying the mask (Section 6), and
+      // scaled COPY coordinates are not pixel-exact; both are converted to
+      // RAW read from the reference screen, then resampled.
+      for (const Rect& r : cmd->region().rects()) {
+        Rect clipped = r.Intersect(window_server_->screen().bounds());
+        Rect dst = scale_rect(clipped);
+        if (dst.empty()) {
+          continue;
+        }
+        Surface src(clipped.width, clipped.height);
+        src.PutPixels(Rect{0, 0, clipped.width, clipped.height},
+                      window_server_->screen().GetPixels(clipped));
+        cpu_->Charge(static_cast<double>(clipped.area()) * cpucost::kResamplePerPixel);
+        Surface scaled = FantResample(src, dst.width, dst.height);
+        auto piece = std::make_unique<RawCommand>(
+            dst, std::vector<Pixel>(scaled.pixels().begin(), scaled.pixels().end()));
+        piece->set_compression_enabled(options_.compress_raw);
+        out.push_back(std::move(piece));
+      }
+      return out;
+    }
+    default:
+      out.push_back(std::move(cmd));
+      return out;
+  }
+}
+
+void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
+  if (viewport_.has_value()) {
+    for (auto& piece : ResizeForViewport(std::move(cmd))) {
+      scheduler_.Insert(std::move(piece), loop_->now());
+    }
+    ScheduleFlush(options_.flush_interval);
+    return;
+  }
+  // Preserve semantics of buffered COPYs whose source this command is about
+  // to overwrite AND which are scheduled to flush after it: the affected
+  // destination parts are re-sent as RAW read from the reference screen
+  // (which already contains the copied content). Materialized RAWs change
+  // those destinations' client-side contents in turn, so the check cascades
+  // until no buffered copy is affected.
+  std::deque<std::unique_ptr<Command>> pending;
+  pending.push_back(std::move(cmd));
+  while (!pending.empty()) {
+    std::unique_ptr<Command> next = std::move(pending.front());
+    pending.pop_front();
+    const int planned = scheduler_.PlannedBand(*next, loop_->now());
+    for (const Region& region :
+         scheduler_.SplitCopiesReading(next->region(), planned)) {
+      const Surface& screen = window_server_->screen();
+      for (const Rect& r : region.rects()) {
+        Rect clipped = r.Intersect(screen.bounds());
+        if (clipped.empty()) {
+          continue;
+        }
+        auto raw = std::make_unique<RawCommand>(clipped, screen.GetPixels(clipped));
+        raw->set_compression_enabled(options_.compress_raw);
+        pending.push_back(std::move(raw));
+      }
+    }
+    scheduler_.Insert(std::move(next), loop_->now(), planned);
+  }
+  ScheduleFlush(options_.flush_interval);
+}
+
+// --- Video -------------------------------------------------------------------
+
+int32_t ThincServer::OnVideoStreamCreate(int32_t src_width, int32_t src_height,
+                                         const Rect& dst) {
+  int32_t id = next_stream_id_++;
+  streams_[id] = VideoStreamState{src_width, src_height, dst};
+  WireWriter w;
+  w.I32(id);
+  w.I32(src_width);
+  w.I32(src_height);
+  Rect scaled_dst = viewport_.has_value()
+                        ? Region(dst).Scaled(viewport_->num, viewport_->den).Bounds()
+                        : dst;
+  w.RectVal(scaled_dst);
+  std::vector<uint8_t> payload = w.Take();
+  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoSetup, payload)});
+  ScheduleFlush(0);
+  return id;
+}
+
+void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
+  auto it = streams_.find(stream_id);
+  THINC_CHECK(it != streams_.end());
+  const Yv12Frame* to_send = &frame;
+  Yv12Frame downscaled;
+  if (viewport_.has_value()) {
+    // Server-side video resize: bandwidth shrinks with the viewport while
+    // the client hardware still scales to its own screen (Section 8.3).
+    int32_t dw = std::max<int32_t>(2, frame.width * viewport_->num / viewport_->den);
+    int32_t dh = std::max<int32_t>(2, frame.height * viewport_->num / viewport_->den);
+    cpu_->Charge(static_cast<double>(frame.width) * frame.height *
+                 cpucost::kResamplePerPixel * 0.5);
+    downscaled = Yv12Downscale(frame, dw, dh);
+    to_send = &downscaled;
+  }
+  WireWriter w;
+  w.I32(stream_id);
+  w.I32(to_send->width);
+  w.I32(to_send->height);
+  // Server timestamp: audio and video carry the same clock so the client
+  // can preserve their synchronization (Section 4.2).
+  w.I64(loop_->now());
+  std::vector<uint8_t> packed = to_send->Pack();
+  cpu_->Charge(0.002 * static_cast<double>(packed.size()));
+  w.Bytes(packed);
+  std::vector<uint8_t> payload = w.Take();
+  EnqueueVideoFrame(stream_id, BuildFrame(MsgType::kVideoFrame, payload));
+}
+
+void ThincServer::EnqueueVideoFrame(int32_t stream_id,
+                                    std::vector<uint8_t> wire_frame) {
+  // Client-buffer semantics for video: a frame still waiting (unstarted)
+  // when its successor arrives is outdated — drop it, keep the fresh one.
+  for (auto& item : video_queue_) {
+    if (item.is_video && item.stream_id == stream_id) {
+      item.frame = std::move(wire_frame);
+      ++video_frames_dropped_;
+      ScheduleFlush(0);
+      return;
+    }
+  }
+  MediaItem item;
+  item.frame = std::move(wire_frame);
+  item.is_video = true;
+  item.stream_id = stream_id;
+  video_queue_.push_back(std::move(item));
+  ScheduleFlush(0);
+}
+
+void ThincServer::OnVideoStreamMove(int32_t stream_id, const Rect& dst) {
+  auto it = streams_.find(stream_id);
+  THINC_CHECK(it != streams_.end());
+  it->second.dst = dst;
+  WireWriter w;
+  w.I32(stream_id);
+  Rect scaled_dst = viewport_.has_value()
+                        ? Region(dst).Scaled(viewport_->num, viewport_->den).Bounds()
+                        : dst;
+  w.RectVal(scaled_dst);
+  std::vector<uint8_t> payload = w.Take();
+  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoMove, payload)});
+  ScheduleFlush(0);
+}
+
+void ThincServer::OnVideoStreamDestroy(int32_t stream_id) {
+  streams_.erase(stream_id);
+  video_queue_.erase(std::remove_if(video_queue_.begin(), video_queue_.end(),
+                                    [stream_id](const MediaItem& m) {
+                                      return m.is_video && m.stream_id == stream_id;
+                                    }),
+                     video_queue_.end());
+  WireWriter w;
+  w.I32(stream_id);
+  std::vector<uint8_t> payload = w.Take();
+  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoTeardown, payload)});
+  ScheduleFlush(0);
+}
+
+void ThincServer::OnInputEvent(Point location) {
+  Point scaled = location;
+  if (viewport_.has_value()) {
+    scaled = Point{location.x * viewport_->num / viewport_->den,
+                   location.y * viewport_->num / viewport_->den};
+  }
+  scheduler_.NoteInput(scaled, loop_->now());
+}
+
+// --- Audio -------------------------------------------------------------------
+
+void ThincServer::SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) {
+  WireWriter w;
+  w.I64(timestamp);
+  w.U32(static_cast<uint32_t>(pcm.size()));
+  w.Bytes(pcm);
+  std::vector<uint8_t> payload = w.Take();
+  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kAudio, payload)});
+  ScheduleFlush(0);
+}
+
+// --- Delivery ----------------------------------------------------------------
+
+void ThincServer::ScheduleFlush(SimTime delay) {
+  if (flush_scheduled_) {
+    return;
+  }
+  flush_scheduled_ = true;
+  loop_->Schedule(delay, [this] {
+    flush_scheduled_ = false;
+    Flush();
+  });
+}
+
+size_t ThincServer::CommitBytes(const std::vector<uint8_t>& bytes, size_t* cursor) {
+  size_t space = conn_->FreeSpace(Connection::kServer);
+  size_t n = std::min(space, bytes.size() - *cursor);
+  if (n == 0) {
+    return 0;
+  }
+  std::vector<uint8_t> chunk(bytes.begin() + *cursor, bytes.begin() + *cursor + n);
+  if (tx_cipher_.has_value()) {
+    tx_cipher_->Process(chunk, chunk);
+    cpu_->Charge(cpucost::kRc4PerByte * static_cast<double>(n));
+  }
+  size_t sent = conn_->Send(Connection::kServer, chunk);
+  THINC_CHECK(sent == n);  // we never offer more than FreeSpace()
+  *cursor += n;
+  return n;
+}
+
+void ThincServer::Flush() {
+  if (!options_.server_push && !update_requested_) {
+    return;
+  }
+  const SimTime now = loop_->now();
+  size_t committed = 0;
+  while (true) {
+    // 1. Finish any partially committed frame first (stream coherence).
+    if (!pending_frame_.empty()) {
+      committed += CommitBytes(pending_frame_, &pending_cursor_);
+      if (pending_cursor_ < pending_frame_.size()) {
+        return;  // socket full; writable callback resumes us
+      }
+      pending_frame_.clear();
+      pending_cursor_ = 0;
+      continue;
+    }
+    // 2. A popped display command in progress.
+    if (pending_ != nullptr) {
+      if (!pending_prepared_) {
+        double cost = pending_->EncodeCpuCost();
+        pending_ready_ = cpu_->Charge(cost);
+        pending_prepared_ = true;
+      }
+      if (now < pending_ready_) {
+        // Encoding still "running" on the server CPU.
+        loop_->ScheduleAt(pending_ready_, [this] { Flush(); });
+        return;
+      }
+      std::vector<uint8_t> frame = pending_->EncodeFrame();
+      size_t space = conn_->FreeSpace(Connection::kServer);
+      if (frame.size() <= space) {
+        size_t cursor = 0;
+        committed += CommitBytes(frame, &cursor);
+        THINC_CHECK(cursor == frame.size());
+        pending_.reset();
+        pending_prepared_ = false;
+        continue;
+      }
+      // Split so the committed portion fits and the remainder can be
+      // rescheduled by remaining size (non-blocking operation, Section 5).
+      std::unique_ptr<Command> part = pending_->SplitOff(space);
+      if (part != nullptr) {
+        std::vector<uint8_t> part_frame = part->EncodeFrame();
+        pending_frame_ = std::move(part_frame);
+        pending_cursor_ = 0;
+        scheduler_.Reinsert(std::move(pending_));
+        pending_prepared_ = false;
+        continue;
+      }
+      // Unsplittable: stream its bytes progressively.
+      pending_frame_ = std::move(frame);
+      pending_cursor_ = 0;
+      pending_.reset();
+      pending_prepared_ = false;
+      continue;
+    }
+    // 3. Pick the next item: audio/control, then video, then the scheduler.
+    if (!audio_queue_.empty()) {
+      pending_frame_ = std::move(audio_queue_.front().frame);
+      pending_cursor_ = 0;
+      audio_queue_.pop_front();
+      continue;
+    }
+    if (!video_queue_.empty()) {
+      pending_frame_ = std::move(video_queue_.front().frame);
+      pending_cursor_ = 0;
+      video_queue_.pop_front();
+      ++video_frames_sent_;
+      continue;
+    }
+    std::unique_ptr<Command> cmd = scheduler_.PopNext();
+    if (cmd == nullptr) {
+      break;
+    }
+    pending_ = std::move(cmd);
+    pending_prepared_ = false;
+  }
+  // In pull mode a request stays armed until it has been answered with at
+  // least some data; once everything buffered has gone out, it's satisfied.
+  if (!options_.server_push && committed > 0) {
+    update_requested_ = false;
+  }
+}
+
+// --- Client messages ----------------------------------------------------------
+
+void ThincServer::OnReceive(std::span<const uint8_t> data) {
+  std::vector<uint8_t> plain(data.begin(), data.end());
+  if (rx_cipher_.has_value()) {
+    rx_cipher_->Process(plain, plain);
+  }
+  parser_.Feed(plain);
+  while (auto frame = parser_.Next()) {
+    HandleFrame(frame->type, frame->payload);
+  }
+}
+
+void ThincServer::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kInput: {
+      Point p;
+      int32_t button;
+      int64_t timestamp;
+      if (!r.PointVal(&p) || !r.I32(&button) || !r.I64(&timestamp)) {
+        return;
+      }
+      // Client coordinates are viewport coordinates; unscale for the
+      // application, keep scaled for the scheduler's real-time region.
+      Point server_pt = p;
+      if (viewport_.has_value()) {
+        server_pt = Point{p.x * viewport_->den / viewport_->num,
+                          p.y * viewport_->den / viewport_->num};
+      }
+      scheduler_.NoteInput(p, loop_->now());
+      if (input_handler_) {
+        input_handler_(server_pt, button);
+      }
+      return;
+    }
+    case MsgType::kResizeViewport: {
+      int32_t w, h;
+      if (!r.I32(&w) || !r.I32(&h) || w <= 0 || h <= 0) {
+        return;
+      }
+      const Surface& screen = window_server_->screen();
+      if (w >= screen.width() && h >= screen.height()) {
+        viewport_.reset();
+      } else {
+        Viewport vp;
+        vp.width = w;
+        vp.height = h;
+        // Uniform scale: the tighter of the two axis ratios.
+        if (static_cast<int64_t>(w) * screen.height() <=
+            static_cast<int64_t>(h) * screen.width()) {
+          vp.num = w;
+          vp.den = screen.width();
+        } else {
+          vp.num = h;
+          vp.den = screen.height();
+        }
+        viewport_ = vp;
+      }
+      SendFullRefresh();
+      return;
+    }
+    case MsgType::kUpdateRequest: {
+      update_requested_ = true;
+      Flush();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ThincServer::SendFullRefresh() {
+  const Surface& screen = window_server_->screen();
+  Rect all = screen.bounds();
+  auto raw = std::make_unique<RawCommand>(all, screen.GetPixels(all));
+  raw->set_compression_enabled(options_.compress_raw);
+  InsertOutgoing(std::move(raw));
+}
+
+}  // namespace thinc

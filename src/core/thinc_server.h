@@ -1,0 +1,181 @@
+// The THINC server: a virtual display driver that translates intercepted
+// device-layer drawing operations into protocol commands and delivers them
+// to a remote client (Sections 3-7 of the paper).
+//
+// Pieces, mapped to the paper:
+//   * Translation layer (Section 4): DisplayDriver hooks map one-to-one onto
+//     protocol commands; processing is decoupled from transmission through
+//     the update scheduler; command semantics are preserved end to end.
+//   * Offscreen drawing awareness (Section 4.1): a command queue per pixmap;
+//     pixmap-to-pixmap copies copy command groups between queues; copies to
+//     the screen replay the queued commands instead of sending raw pixels.
+//   * Video support (Section 4.2): YV12 stream objects delivered through a
+//     media path; frames outdated before transmission are dropped
+//     server-side. Audio rides the same path with timestamps.
+//   * Command delivery (Section 5): SRSF scheduling with a real-time queue,
+//     server-push with non-blocking flush handlers that split large commands
+//     and stop before the socket would block, and client-buffer eviction of
+//     outdated commands.
+//   * Heterogeneous displays (Section 6): when a client viewport smaller
+//     than the framebuffer is set, updates are resized server-side — RAW and
+//     PFILL resampled (Fant), BITMAP converted to RAW then resampled, SFILL
+//     coordinates-only; COPY is converted to RAW because scaled coordinates
+//     do not stay pixel-exact.
+//   * Transport (Section 7): all traffic RC4-encrypted; RAW payloads use the
+//     PNG-like codec when it wins.
+#ifndef THINC_SRC_CORE_THINC_SERVER_H_
+#define THINC_SRC_CORE_THINC_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "src/codec/rc4.h"
+#include "src/core/command.h"
+#include "src/core/command_queue.h"
+#include "src/core/scheduler.h"
+#include "src/display/driver.h"
+#include "src/display/window_server.h"
+#include "src/net/connection.h"
+#include "src/protocol/wire.h"
+#include "src/util/cpu.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+struct ThincServerOptions {
+  // Ablation knobs.
+  bool offscreen_tracking = true;  // Section 4.1 optimization
+  bool server_push = true;         // false: client-pull delivery (ablation)
+  bool encrypt = true;             // RC4 transport encryption
+  bool compress_raw = true;        // PNG-like compression of RAW payloads
+  SchedulerOptions scheduler;
+  // Aggregation window between command generation and transmission.
+  SimTime flush_interval = kMillisecond;
+};
+
+class ThincServer : public DisplayDriver {
+ public:
+  ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
+              ThincServerOptions options = {});
+
+  // The server reads reference framebuffer content from the window server
+  // (residual RAW fallback and resize support). Must be called once.
+  void AttachWindowServer(WindowServer* ws) { window_server_ = ws; }
+
+  // --- DisplayDriver (the interception points) -----------------------------
+  void OnFillSolid(DrawableId dst, const Region& region, Pixel color) override;
+  void OnFillTiled(DrawableId dst, const Region& region, const Surface& tile,
+                   Point origin) override;
+  void OnFillStippled(DrawableId dst, const Region& region, const Bitmap& stipple,
+                      Point origin, Pixel fg, Pixel bg, bool transparent_bg) override;
+  void OnCopy(DrawableId src, DrawableId dst, const Rect& src_rect,
+              Point dst_origin) override;
+  void OnPutImage(DrawableId dst, const Rect& rect,
+                  std::span<const Pixel> pixels) override;
+  void OnComposite(DrawableId dst, const Rect& rect,
+                   std::span<const Pixel> blended) override;
+  void OnCreatePixmap(DrawableId id, int32_t width, int32_t height) override;
+  void OnDestroyPixmap(DrawableId id) override;
+  bool SupportsVideo() const override { return true; }
+  int32_t OnVideoStreamCreate(int32_t src_width, int32_t src_height,
+                              const Rect& dst) override;
+  void OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) override;
+  void OnVideoStreamMove(int32_t stream_id, const Rect& dst) override;
+  void OnVideoStreamDestroy(int32_t stream_id) override;
+  void OnInputEvent(Point location) override;
+
+  // --- Audio (virtual audio driver output) ----------------------------------
+  void SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp);
+
+  // --- Control ----------------------------------------------------------------
+  // Invoked for every input event frame received from the client.
+  using InputFn = std::function<void(Point, int32_t button)>;
+  void SetInputHandler(InputFn fn) { input_handler_ = std::move(fn); }
+
+  // Queues a RAW update of the entire current reference screen (used when a
+  // client joins an existing session or enlarges its viewport).
+  void SendFullRefresh();
+
+  // Statistics.
+  int64_t video_frames_sent() const { return video_frames_sent_; }
+  int64_t video_frames_dropped() const { return video_frames_dropped_; }
+  size_t buffered_commands() const { return scheduler_.count(); }
+
+  const ThincServerOptions& options() const { return options_; }
+
+ private:
+  struct MediaItem {
+    std::vector<uint8_t> frame;  // complete wire frame
+    size_t cursor = 0;           // bytes already committed to the socket
+    bool is_video = false;
+    int32_t stream_id = -1;
+  };
+  struct VideoStreamState {
+    int32_t src_width = 0;
+    int32_t src_height = 0;
+    Rect dst;
+  };
+  struct Viewport {
+    int32_t width = 0;
+    int32_t height = 0;
+    // Scale factor as a rational num/den (num <= den).
+    int32_t num = 1;
+    int32_t den = 1;
+  };
+
+  bool IsOffscreen(DrawableId id) const { return id != kScreenDrawable; }
+  // Routes a freshly translated command: offscreen queue or client buffer.
+  void Emit(DrawableId dst, std::unique_ptr<Command> cmd);
+  // Inserts into the scheduler, applying viewport resize first.
+  void InsertOutgoing(std::unique_ptr<Command> cmd);
+  std::vector<std::unique_ptr<Command>> ResizeForViewport(std::unique_ptr<Command> cmd);
+
+  void ScheduleFlush(SimTime delay);
+  void Flush();
+  // Commits as much of `bytes` (starting at *cursor) as the socket accepts;
+  // returns the number of bytes committed.
+  size_t CommitBytes(const std::vector<uint8_t>& bytes, size_t* cursor);
+  void OnReceive(std::span<const uint8_t> data);
+  void HandleFrame(uint8_t type, std::span<const uint8_t> payload);
+  void EnqueueVideoFrame(int32_t stream_id, std::vector<uint8_t> wire_frame);
+
+  EventLoop* loop_;
+  Connection* conn_;
+  CpuAccount* cpu_;
+  ThincServerOptions options_;
+  WindowServer* window_server_ = nullptr;
+
+  UpdateScheduler scheduler_;
+  std::map<DrawableId, CommandQueue> offscreen_;
+  std::map<int32_t, VideoStreamState> streams_;
+  int32_t next_stream_id_ = 1;
+
+  std::deque<MediaItem> audio_queue_;
+  std::deque<MediaItem> video_queue_;
+
+  // Flush state.
+  bool flush_scheduled_ = false;
+  std::unique_ptr<Command> pending_;        // command being transmitted
+  std::vector<uint8_t> pending_frame_;      // its encoded bytes
+  size_t pending_cursor_ = 0;
+  bool pending_prepared_ = false;
+  SimTime pending_ready_ = 0;
+  bool update_requested_ = false;  // client-pull mode
+
+  std::optional<Viewport> viewport_;
+  std::optional<Rc4Cipher> tx_cipher_;
+  std::optional<Rc4Cipher> rx_cipher_;
+  FrameParser parser_;
+  InputFn input_handler_;
+
+  int64_t video_frames_sent_ = 0;
+  int64_t video_frames_dropped_ = 0;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CORE_THINC_SERVER_H_

@@ -1,0 +1,58 @@
+// DrawingApi: the application-facing display interface.
+//
+// Workload generators (the stand-ins for Mozilla and MPlayer) draw through
+// this interface. For server-side-GUI systems (THINC, VNC, Sun Ray, RDP,
+// GoToMyPC, local PC) it is implemented by the WindowServer running on the
+// host where the application executes. For client-side-GUI systems (X, NX)
+// it is implemented by a protocol proxy that forwards each request over the
+// network to a window server running on the client — the paper's "the
+// client is referred to as the X server" architecture.
+#ifndef THINC_SRC_DISPLAY_DRAWING_API_H_
+#define THINC_SRC_DISPLAY_DRAWING_API_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/display/driver.h"
+#include "src/raster/surface.h"
+#include "src/raster/yuv.h"
+#include "src/util/geometry.h"
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+class DrawingApi {
+ public:
+  virtual ~DrawingApi() = default;
+
+  virtual int32_t screen_width() const = 0;
+  virtual int32_t screen_height() const = 0;
+
+  virtual DrawableId CreatePixmap(int32_t width, int32_t height) = 0;
+  virtual void FreePixmap(DrawableId id) = 0;
+
+  virtual void FillRect(DrawableId dst, const Rect& rect, Pixel color) = 0;
+  virtual void FillTiled(DrawableId dst, const Rect& rect, const Surface& tile,
+                         Point origin) = 0;
+  virtual void FillStippled(DrawableId dst, const Rect& rect, const Bitmap& stipple,
+                            Point origin, Pixel fg, Pixel bg, bool transparent_bg) = 0;
+  virtual void DrawText(DrawableId dst, Point origin, std::string_view text,
+                        Pixel fg) = 0;
+  virtual void PutImage(DrawableId dst, const Rect& rect,
+                        std::span<const Pixel> pixels) = 0;
+  virtual void CopyArea(DrawableId src, DrawableId dst, const Rect& src_rect,
+                        Point dst_origin) = 0;
+  virtual void CompositeOver(DrawableId dst, const Rect& rect,
+                             std::span<const Pixel> argb) = 0;
+  virtual void ScrollUp(DrawableId dst, const Rect& rect, int32_t dy, Pixel fill) = 0;
+
+  virtual int32_t VideoStreamCreate(int32_t src_width, int32_t src_height,
+                                    const Rect& dst) = 0;
+  virtual void VideoFrame(int32_t stream_id, const Yv12Frame& frame) = 0;
+  virtual void VideoStreamDestroy(int32_t stream_id) = 0;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_DISPLAY_DRAWING_API_H_

@@ -1,0 +1,78 @@
+// The video device driver interface — THINC's interception point.
+//
+// This mirrors the XAA/KAA-style hook set a 2D driver implements: the window
+// server decomposes application requests into these low-level operations and
+// calls the active driver *with the operation's semantic parameters* (fill
+// color, tile, stipple, copy geometry), not just resulting pixels. The
+// window server also software-renders every operation into the drawable's
+// backing store first, so a driver may read back final pixel data — the
+// "last resort" RAW path and the screen-scraping baselines both rely on
+// that.
+//
+// THINC's server (src/core), Sun Ray's, VNC's, and RDP's are all just
+// different implementations of this interface, which is the paper's central
+// architectural claim: remote display belongs at the device driver layer.
+#ifndef THINC_SRC_DISPLAY_DRIVER_H_
+#define THINC_SRC_DISPLAY_DRIVER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/raster/bitmap.h"
+#include "src/raster/surface.h"
+#include "src/raster/yuv.h"
+#include "src/util/geometry.h"
+#include "src/util/pixel.h"
+#include "src/util/region.h"
+
+namespace thinc {
+
+// Drawable 0 is always the screen; pixmaps get ids from 1 up.
+using DrawableId = uint32_t;
+inline constexpr DrawableId kScreenDrawable = 0;
+
+class DisplayDriver {
+ public:
+  virtual ~DisplayDriver() = default;
+
+  // --- 2D acceleration hooks ----------------------------------------------
+  virtual void OnFillSolid(DrawableId dst, const Region& region, Pixel color) {}
+  virtual void OnFillTiled(DrawableId dst, const Region& region, const Surface& tile,
+                           Point origin) {}
+  virtual void OnFillStippled(DrawableId dst, const Region& region,
+                              const Bitmap& stipple, Point origin, Pixel fg, Pixel bg,
+                              bool transparent_bg) {}
+  virtual void OnCopy(DrawableId src, DrawableId dst, const Rect& src_rect,
+                      Point dst_origin) {}
+  virtual void OnPutImage(DrawableId dst, const Rect& rect,
+                          std::span<const Pixel> pixels) {}
+  // Alpha-blended content the window server composited in software because
+  // the (virtual) hardware lacks composition support; `pixels` is the
+  // already-blended result for the rect.
+  virtual void OnComposite(DrawableId dst, const Rect& rect,
+                           std::span<const Pixel> blended) {}
+
+  // --- Drawable lifecycle ---------------------------------------------------
+  virtual void OnCreatePixmap(DrawableId id, int32_t width, int32_t height) {}
+  virtual void OnDestroyPixmap(DrawableId id) {}
+
+  // --- Video port (XVideo-like) ----------------------------------------------
+  // A driver advertising video support receives YV12 frames directly; one
+  // that does not forces the window server to color-convert in software and
+  // deliver frames through OnPutImage at screen size.
+  virtual bool SupportsVideo() const { return false; }
+  virtual int32_t OnVideoStreamCreate(int32_t src_width, int32_t src_height,
+                                      const Rect& dst) { return -1; }
+  virtual void OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {}
+  virtual void OnVideoStreamMove(int32_t stream_id, const Rect& dst) {}
+  virtual void OnVideoStreamDestroy(int32_t stream_id) {}
+
+  // --- Input --------------------------------------------------------------
+  // The server notifies the driver of user input locations so it can
+  // prioritize updates near the interaction point (THINC's real-time queue).
+  virtual void OnInputEvent(Point location) {}
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_DISPLAY_DRIVER_H_

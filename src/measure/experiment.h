@@ -1,0 +1,126 @@
+// Experiment harness: assembles a system under test, drives the paper's
+// web and A/V benchmarks against it, and measures results the way Section
+// 8.2 does — page latency from the first input packet to the last display
+// byte (optionally plus client processing time), data transferred per page,
+// and slow-motion A/V quality.
+#ifndef THINC_SRC_MEASURE_EXPERIMENT_H_
+#define THINC_SRC_MEASURE_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baselines/system.h"
+#include "src/core/thinc_server.h"
+#include "src/net/link.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+enum class SystemKind {
+  kThinc,
+  kX,
+  kNx,
+  kVnc,
+  kSunRay,
+  kRdp,
+  kIca,
+  kGotomypc,
+  kLocalPc,
+};
+
+const char* SystemName(SystemKind kind);
+
+struct ExperimentConfig {
+  std::string name;
+  LinkParams link;
+  // WAN profile switches the baselines into their aggressive-compression /
+  // WAN settings, as the paper configured them per network (Section 8.1).
+  bool wan_profile = false;
+  // PDA-style small client viewport; systems that cannot change geometry
+  // are excluded from these runs by the benches.
+  std::optional<Point> viewport;
+  int32_t screen_width = 1024;
+  int32_t screen_height = 768;
+};
+
+ExperimentConfig LanDesktopConfig();
+ExperimentConfig WanDesktopConfig();
+ExperimentConfig Pda80211gConfig();
+ExperimentConfig RemoteSiteConfig(const RemoteSite& site);
+
+// Builds a fully wired system-under-test on `loop`.
+std::unique_ptr<RemoteDisplaySystem> MakeSystem(SystemKind kind, EventLoop* loop,
+                                                const ExperimentConfig& config);
+
+// --- Web benchmark -----------------------------------------------------------
+
+struct PageResult {
+  double latency_ms = 0;              // network measure (packet trace)
+  double latency_with_client_ms = 0;  // including client processing
+  int64_t bytes = 0;                  // server->client data for the page
+};
+
+struct WebRunResult {
+  std::string system;
+  std::string config;
+  std::vector<PageResult> pages;
+
+  double AvgLatencyMs(bool with_client) const;
+  double AvgPageKb() const;
+};
+
+WebRunResult RunWebBenchmark(SystemKind kind, const ExperimentConfig& config,
+                             int32_t page_count = 54);
+
+// --- A/V benchmark --------------------------------------------------------------
+
+struct AvRunResult {
+  std::string system;
+  std::string config;
+  double quality = 0;            // slow-motion A/V quality in [0, 1]
+  int64_t bytes = 0;             // total server->client data
+  int32_t frames_displayed = 0;
+  int32_t frames_total = 0;
+  double duration_s = 0;         // actual playback duration
+  double bandwidth_mbps = 0;
+  double audio_fraction = 0;     // delivered / expected PCM (0 if no audio)
+  bool audio_supported = false;
+};
+
+// `duration` defaults to the paper's full 34.75 s clip; benches use a
+// shorter clip unless THINC_AV_FULL=1 (quality is duration-normalized).
+AvRunResult RunAvBenchmark(SystemKind kind, const ExperimentConfig& config,
+                           SimTime duration, bool with_audio = true);
+
+// Benchmark clip duration honoring the THINC_AV_FULL environment switch.
+SimTime BenchClipDuration();
+
+// --- THINC variants (ablation benches) -----------------------------------------
+
+struct ThincVariantExtras {
+  SimTime server_cpu_busy = 0;  // total server CPU time consumed
+  int64_t video_frames_dropped = 0;
+};
+
+// Web / A/V runs with explicit THINC server options (offscreen tracking,
+// scheduler mode, push vs pull, RAW compression). `skip_viewport` suppresses
+// the PDA viewport negotiation, modelling a client with no resize support.
+WebRunResult RunThincWebVariant(const ExperimentConfig& config,
+                                const ThincServerOptions& options,
+                                int32_t page_count, bool skip_viewport = false,
+                                ThincVariantExtras* extras = nullptr);
+AvRunResult RunThincAvVariant(const ExperimentConfig& config,
+                              const ThincServerOptions& options, SimTime duration,
+                              bool skip_viewport = false,
+                              ThincVariantExtras* extras = nullptr);
+
+// --- Network characterization ------------------------------------------------------
+
+// Bulk-transfer throughput measurement over `link` (the Iperf of Section 8.3).
+double MeasureIperfMbps(const LinkParams& link, SimTime duration = 3 * kSecond);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_MEASURE_EXPERIMENT_H_

@@ -1,0 +1,179 @@
+#include "src/net/connection.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace thinc {
+namespace {
+
+// Segment size used for serialization/delivery granularity (Ethernet MSS).
+constexpr int64_t kMss = 1460;
+
+}  // namespace
+
+Connection::Connection(EventLoop* loop, const LinkParams& params,
+                       size_t send_buffer_bytes)
+    : loop_(loop), params_(params), send_buffer_bytes_(send_buffer_bytes) {
+  THINC_CHECK(params.bandwidth_bps > 0);
+  THINC_CHECK(params.tcp_window_bytes > 0);
+}
+
+size_t Connection::FreeSpace(int from) const {
+  const Direction& d = dirs_[from];
+  return send_buffer_bytes_ - std::min(send_buffer_bytes_, d.send_buffer.size());
+}
+
+size_t Connection::Send(int from, std::span<const uint8_t> data) {
+  Direction& d = dirs_[from];
+  size_t accepted = std::min(data.size(), FreeSpace(from));
+  d.send_buffer.insert(d.send_buffer.end(), data.begin(), data.begin() + accepted);
+  if (accepted > 0 && !d.pump_scheduled) {
+    SchedulePump(from, loop_->now());
+  }
+  return accepted;
+}
+
+void Connection::SetReceiver(int endpoint, ReceiveFn fn) {
+  // Data arriving at `endpoint` was sent from the other endpoint.
+  dirs_[1 - endpoint].receive = std::move(fn);
+}
+
+void Connection::SetWritable(int endpoint, WritableFn fn) {
+  dirs_[endpoint].writable = std::move(fn);
+}
+
+const std::vector<TraceRecord>& Connection::TraceTo(int endpoint) const {
+  return dirs_[1 - endpoint].trace;
+}
+
+int64_t Connection::BytesDeliveredTo(int endpoint) const {
+  return dirs_[1 - endpoint].delivered_bytes;
+}
+
+SimTime Connection::LastDeliveryTo(int endpoint) const {
+  return dirs_[1 - endpoint].last_delivery;
+}
+
+bool Connection::Idle() const {
+  for (const Direction& d : dirs_) {
+    if (!d.send_buffer.empty() || d.inflight_bytes > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Connection::ResetTraces() {
+  for (Direction& d : dirs_) {
+    d.trace.clear();
+  }
+}
+
+void Connection::SchedulePump(int from, SimTime when) {
+  Direction& d = dirs_[from];
+  d.pump_scheduled = true;
+  loop_->ScheduleAt(when, [this, from] {
+    dirs_[from].pump_scheduled = false;
+    Pump(from);
+  });
+}
+
+void Connection::Pump(int from) {
+  Direction& d = dirs_[from];
+  const SimTime now = loop_->now();
+  bool freed_space = false;
+
+  while (!d.send_buffer.empty()) {
+    // Window check: pause until the oldest in-flight segment is acked.
+    if (d.inflight_bytes + kMss > params_.tcp_window_bytes &&
+        d.inflight_bytes > 0) {
+      SchedulePump(from, d.inflight.front().first);
+      break;
+    }
+    // Serialization occupies the wire sequentially; if the wire is still
+    // busy with a previous segment, resume when it frees up.
+    if (d.serialize_free_at > now) {
+      SchedulePump(from, d.serialize_free_at);
+      break;
+    }
+    int64_t seg_len =
+        std::min<int64_t>(kMss, static_cast<int64_t>(d.send_buffer.size()));
+    SimTime tx_time =
+        (seg_len * 8 * kSecond + params_.bandwidth_bps - 1) / params_.bandwidth_bps;
+    SimTime depart = now + tx_time;
+    d.serialize_free_at = depart;
+
+    std::vector<uint8_t> payload(d.send_buffer.begin(),
+                                 d.send_buffer.begin() + seg_len);
+    d.send_buffer.erase(d.send_buffer.begin(), d.send_buffer.begin() + seg_len);
+    freed_space = true;
+
+    SimTime arrival = depart + params_.rtt / 2;
+    SimTime ack = arrival + params_.rtt / 2;
+    d.inflight_bytes += seg_len;
+    d.inflight.emplace_back(ack, seg_len);
+
+    loop_->ScheduleAt(arrival, [this, from, payload = std::move(payload)] {
+      Direction& dir = dirs_[from];
+      dir.delivered_bytes += static_cast<int64_t>(payload.size());
+      dir.last_delivery = loop_->now();
+      dir.trace.push_back(
+          TraceRecord{loop_->now(), static_cast<int64_t>(payload.size())});
+      if (dir.receive) {
+        dir.receive(payload);
+      }
+    });
+    loop_->ScheduleAt(ack, [this, from, seg_len] {
+      Direction& dir = dirs_[from];
+      THINC_CHECK(!dir.inflight.empty());
+      dir.inflight_bytes -= dir.inflight.front().second;
+      dir.inflight.pop_front();
+      if (!dir.send_buffer.empty() && !dir.pump_scheduled) {
+        SchedulePump(from, loop_->now());
+      }
+    });
+  }
+
+  if (freed_space && d.writable) {
+    d.writable();
+  }
+}
+
+Relay::Relay(Connection* a, int a_end, Connection* b, int b_end) {
+  // Bytes arriving at a_end of `a` are forwarded out of b_end of `b`, and
+  // vice versa. Backlogs absorb rate mismatches between the two legs.
+  a->SetReceiver(a_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
+    backlog_ab_.insert(backlog_ab_.end(), data.begin(), data.end());
+    ForwardPending(a, a_end, b, b_end, &backlog_ab_);
+  });
+  b->SetReceiver(b_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
+    backlog_ba_.insert(backlog_ba_.end(), data.begin(), data.end());
+    ForwardPending(b, b_end, a, a_end, &backlog_ba_);
+  });
+  a->SetWritable(a_end, [this, a, a_end, b, b_end] {
+    ForwardPending(b, b_end, a, a_end, &backlog_ba_);
+  });
+  b->SetWritable(b_end, [this, a, a_end, b, b_end] {
+    ForwardPending(a, a_end, b, b_end, &backlog_ab_);
+  });
+}
+
+void Relay::ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
+                           std::deque<uint8_t>* backlog) {
+  while (!backlog->empty()) {
+    size_t space = to->FreeSpace(to_end);
+    if (space == 0) {
+      return;
+    }
+    size_t n = std::min(space, backlog->size());
+    std::vector<uint8_t> chunk(backlog->begin(), backlog->begin() + n);
+    size_t sent = to->Send(to_end, chunk);
+    backlog->erase(backlog->begin(), backlog->begin() + sent);
+    if (sent < n) {
+      return;
+    }
+  }
+}
+
+}  // namespace thinc

@@ -1,0 +1,117 @@
+// A simulated full-duplex TCP-like connection.
+//
+// Models the three network effects the paper's evaluation turns on:
+//   * serialization delay (link bandwidth),
+//   * propagation delay (RTT/2 each way),
+//   * a TCP congestion/receive window limiting unacknowledged in-flight
+//     bytes to `tcp_window_bytes` (throughput <= window/RTT).
+//
+// Send() is non-blocking in exactly the sense Section 5 of the paper needs:
+// it accepts at most FreeSpace() bytes into a bounded socket buffer and
+// returns how many were taken. A server that must not block (THINC) checks
+// FreeSpace() and splits commands; a naive server that "blocks" is modelled
+// by the caller stalling its own pipeline until the writable callback.
+//
+// Every delivered segment is timestamped in a per-direction trace, which is
+// what the slow-motion benchmarking harness (src/measure) reads — the
+// simulation equivalent of the paper's Ethereal packet monitor.
+#ifndef THINC_SRC_NET_CONNECTION_H_
+#define THINC_SRC_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+// One timestamped delivery, as a packet monitor would record it.
+struct TraceRecord {
+  SimTime time = 0;   // arrival time at the receiving endpoint
+  int64_t bytes = 0;
+};
+
+class Connection {
+ public:
+  // Endpoint 0 is conventionally the server, endpoint 1 the client.
+  static constexpr int kServer = 0;
+  static constexpr int kClient = 1;
+
+  using ReceiveFn = std::function<void(std::span<const uint8_t>)>;
+  using WritableFn = std::function<void()>;
+
+  Connection(EventLoop* loop, const LinkParams& params,
+             size_t send_buffer_bytes = 256 << 10);
+
+  // Queues up to FreeSpace(from) bytes; returns the number accepted.
+  size_t Send(int from, std::span<const uint8_t> data);
+  size_t FreeSpace(int from) const;
+  // Total socket buffer capacity for one direction.
+  size_t SendBufferCapacity() const { return send_buffer_bytes_; }
+
+  // Receiver callback for data arriving *at* `endpoint`.
+  void SetReceiver(int endpoint, ReceiveFn fn);
+  // Invoked when the send buffer *from* `endpoint` gains free space.
+  void SetWritable(int endpoint, WritableFn fn);
+
+  const LinkParams& params() const { return params_; }
+  EventLoop* loop() const { return loop_; }
+
+  // Measurement interface (direction identified by receiving endpoint).
+  const std::vector<TraceRecord>& TraceTo(int endpoint) const;
+  int64_t BytesDeliveredTo(int endpoint) const;
+  SimTime LastDeliveryTo(int endpoint) const;
+  // True when no data is buffered or in flight in either direction.
+  bool Idle() const;
+
+  // Clears traces (between benchmark phases) without touching channel state.
+  void ResetTraces();
+
+ private:
+  struct Segment {
+    std::vector<uint8_t> data;
+  };
+  struct Direction {
+    std::deque<uint8_t> send_buffer;      // bytes accepted but not serialized
+    int64_t inflight_bytes = 0;           // serialized but unacknowledged
+    std::deque<std::pair<SimTime, int64_t>> inflight;  // (ack time, bytes)
+    SimTime serialize_free_at = 0;        // when the "wire" is next free
+    bool pump_scheduled = false;
+    ReceiveFn receive;
+    WritableFn writable;
+    std::vector<TraceRecord> trace;
+    int64_t delivered_bytes = 0;
+    SimTime last_delivery = 0;
+  };
+
+  void Pump(int from);
+  void SchedulePump(int from, SimTime when);
+
+  EventLoop* loop_;
+  LinkParams params_;
+  size_t send_buffer_bytes_;
+  Direction dirs_[2];  // indexed by sending endpoint
+};
+
+// Chains two connections back to back, forwarding bytes both ways — the
+// GoToMyPC intermediate hosted server (Section 8.1).
+class Relay {
+ public:
+  // Joins `a` endpoint `a_end` with `b` endpoint `b_end`.
+  Relay(Connection* a, int a_end, Connection* b, int b_end);
+
+ private:
+  void ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
+                      std::deque<uint8_t>* backlog);
+
+  std::deque<uint8_t> backlog_ab_;
+  std::deque<uint8_t> backlog_ba_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_NET_CONNECTION_H_

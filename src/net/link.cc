@@ -1,0 +1,65 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+
+namespace thinc {
+
+double LinkParams::MaxThroughputBytesPerSec() const {
+  double bw = static_cast<double>(bandwidth_bps) / 8.0;
+  if (rtt <= 0) {
+    return bw;
+  }
+  double window_rate =
+      static_cast<double>(tcp_window_bytes) / (static_cast<double>(rtt) / kSecond);
+  return std::min(bw, window_rate);
+}
+
+LinkParams LanDesktopLink() {
+  return LinkParams{100'000'000, 200, 1 << 20, "LAN"};
+}
+
+LinkParams WanDesktopLink() {
+  return LinkParams{100'000'000, 66'000, 1 << 20, "WAN"};
+}
+
+LinkParams Pda80211gLink() {
+  return LinkParams{24'000'000, 200, 1 << 20, "PDA"};
+}
+
+const std::vector<RemoteSite>& RemoteSites() {
+  // RTTs are derived from great-circle distance at fiber propagation speed
+  // plus routing overhead (~1 ms + 21.5 us/mile round trip), which lands the
+  // sites in the regimes the paper reports: nearby sites a few ms, Europe
+  // tens of ms, Korea well over 100 ms. PlanetLab windows are 256 KB
+  // (Section 8.1); others use the 1 MB testbed setting.
+  static const std::vector<RemoteSite>* sites = [] {
+    auto* v = new std::vector<RemoteSite>();
+    struct Row {
+      const char* name;
+      bool planetlab;
+      int32_t miles;
+      int64_t bw_mbps;
+    };
+    const Row rows[] = {
+        {"NY", true, 5, 100},    {"PA", true, 78, 100},   {"MA", true, 188, 100},
+        {"MN", true, 1015, 100}, {"NM", false, 1816, 90}, {"CA", false, 2571, 90},
+        {"CAN", true, 388, 100}, {"IE", false, 3185, 80}, {"PR", false, 1603, 60},
+        {"FI", false, 4123, 80}, {"KR", true, 6885, 100},
+    };
+    for (const Row& r : rows) {
+      RemoteSite site;
+      site.name = r.name;
+      site.planetlab = r.planetlab;
+      site.distance_miles = r.miles;
+      site.link.name = r.name;
+      site.link.bandwidth_bps = r.bw_mbps * 1'000'000;
+      site.link.rtt = 1'000 + static_cast<SimTime>(r.miles) * 43 / 2;
+      site.link.tcp_window_bytes = r.planetlab ? (256 << 10) : (1 << 20);
+      v->push_back(site);
+    }
+    return v;
+  }();
+  return *sites;
+}
+
+}  // namespace thinc

@@ -1,0 +1,48 @@
+// Network link parameters and the experiment configurations from the paper.
+//
+// The evaluation (Section 8.1) uses three testbed configurations emulated
+// with NISTNet — LAN Desktop, WAN Desktop, 802.11g PDA — plus eleven remote
+// sites (Table 2) reached over the real Internet. We reproduce each as a
+// (bandwidth, RTT, TCP window) triple; the TCP window matters because
+// PlanetLab nodes were capped at 256 KB, which is what starves the Korea
+// site below video bitrate (Figure 7).
+#ifndef THINC_SRC_NET_LINK_H_
+#define THINC_SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+struct LinkParams {
+  int64_t bandwidth_bps = 100'000'000;
+  SimTime rtt = 200;                       // microseconds
+  int64_t tcp_window_bytes = 1 << 20;      // 1 MB default per Section 8.1
+  std::string name = "link";
+
+  // Steady-state throughput cap in bytes/second: min(bandwidth, window/RTT).
+  double MaxThroughputBytesPerSec() const;
+};
+
+// Testbed configurations (Section 8.1).
+LinkParams LanDesktopLink();     // 100 Mbps, ~0.2 ms RTT
+LinkParams WanDesktopLink();     // 100 Mbps, 66 ms RTT (Internet2 cross-country)
+LinkParams Pda80211gLink();      // 24 Mbps idealized 802.11g, LAN latency
+
+// A remote site from Table 2.
+struct RemoteSite {
+  std::string name;      // e.g. "NY", "KR"
+  bool planetlab;        // PlanetLab nodes are window-capped at 256 KB
+  int32_t distance_miles;
+  LinkParams link;       // derived parameters
+};
+
+// The eleven Table 2 sites with derived RTT/bandwidth/window.
+const std::vector<RemoteSite>& RemoteSites();
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_NET_LINK_H_

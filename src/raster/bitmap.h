@@ -1,0 +1,68 @@
+// 1-bit-per-pixel bitmap, used for stipple fills (THINC's BITMAP command)
+// and glyph masks.
+#ifndef THINC_SRC_RASTER_BITMAP_H_
+#define THINC_SRC_RASTER_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/geometry.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(int32_t width, int32_t height)
+      : width_(width), height_(height), stride_((width + 7) / 8),
+        bits_(static_cast<size_t>(stride_) * height, 0) {
+    THINC_CHECK(width >= 0 && height >= 0);
+  }
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  // Encoded size in bytes (row-padded to whole bytes).
+  size_t byte_size() const { return bits_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bits_; }
+  std::vector<uint8_t>& mutable_bytes() { return bits_; }
+
+  bool Get(int32_t x, int32_t y) const {
+    THINC_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return (bits_[static_cast<size_t>(y) * stride_ + x / 8] >> (7 - x % 8)) & 1;
+  }
+
+  void Set(int32_t x, int32_t y, bool value) {
+    THINC_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    uint8_t& b = bits_[static_cast<size_t>(y) * stride_ + x / 8];
+    uint8_t mask = static_cast<uint8_t>(1u << (7 - x % 8));
+    b = value ? (b | mask) : (b & ~mask);
+  }
+
+  // Extracts a sub-bitmap (used when commands are clipped or split).
+  Bitmap SubBitmap(const Rect& r) const {
+    Rect clipped = r.Intersect(Rect{0, 0, width_, height_});
+    Bitmap out(clipped.width, clipped.height);
+    for (int32_t y = 0; y < clipped.height; ++y) {
+      for (int32_t x = 0; x < clipped.width; ++x) {
+        out.Set(x, y, Get(clipped.x + x, clipped.y + y));
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  int32_t width_ = 0;
+  int32_t height_ = 0;
+  int32_t stride_ = 0;  // bytes per row
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_RASTER_BITMAP_H_

@@ -1,0 +1,112 @@
+#include "src/raster/fant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace thinc {
+namespace {
+
+// One output sample's contribution window over the input axis.
+struct Window {
+  int32_t first;                // first input index
+  std::vector<double> weights;  // coverage weight per input index
+};
+
+// Builds the coverage windows for resampling `src_n` samples to `dst_n`.
+std::vector<Window> BuildWindows(int32_t src_n, int32_t dst_n) {
+  std::vector<Window> windows(static_cast<size_t>(dst_n));
+  const double scale = static_cast<double>(src_n) / dst_n;
+  for (int32_t d = 0; d < dst_n; ++d) {
+    double lo = d * scale;
+    double hi = (d + 1) * scale;
+    // Upscaling: widen the footprint to at least one input sample so the
+    // result interpolates instead of replicating.
+    if (hi - lo < 1.0) {
+      double center = (lo + hi) / 2.0;
+      lo = center - 0.5;
+      hi = center + 0.5;
+    }
+    lo = std::max(lo, 0.0);
+    hi = std::min(hi, static_cast<double>(src_n));
+    int32_t first = static_cast<int32_t>(std::floor(lo));
+    int32_t last = static_cast<int32_t>(std::ceil(hi)) - 1;
+    last = std::min(last, src_n - 1);
+    Window w;
+    w.first = first;
+    double total = 0.0;
+    for (int32_t i = first; i <= last; ++i) {
+      double cover = std::min<double>(hi, i + 1) - std::max<double>(lo, i);
+      cover = std::max(cover, 0.0);
+      w.weights.push_back(cover);
+      total += cover;
+    }
+    if (total <= 0.0) {
+      w.weights.assign(1, 1.0);
+      total = 1.0;
+    }
+    for (double& weight : w.weights) {
+      weight /= total;
+    }
+    windows[static_cast<size_t>(d)] = std::move(w);
+  }
+  return windows;
+}
+
+}  // namespace
+
+Surface FantResample(const Surface& src, int32_t dst_width, int32_t dst_height) {
+  THINC_CHECK(dst_width > 0 && dst_height > 0);
+  if (src.empty()) {
+    return Surface(dst_width, dst_height);
+  }
+  const std::vector<Window> xw = BuildWindows(src.width(), dst_width);
+  const std::vector<Window> yw = BuildWindows(src.height(), dst_height);
+
+  // Horizontal pass into a float intermediate, then vertical pass.
+  struct Acc {
+    double a = 0, r = 0, g = 0, b = 0;
+  };
+  std::vector<Acc> mid(static_cast<size_t>(dst_width) * src.height());
+  for (int32_t y = 0; y < src.height(); ++y) {
+    for (int32_t dx = 0; dx < dst_width; ++dx) {
+      const Window& w = xw[static_cast<size_t>(dx)];
+      Acc acc;
+      for (size_t k = 0; k < w.weights.size(); ++k) {
+        Pixel p = src.At(w.first + static_cast<int32_t>(k), y);
+        double wt = w.weights[k];
+        acc.a += wt * PixelA(p);
+        acc.r += wt * PixelR(p);
+        acc.g += wt * PixelG(p);
+        acc.b += wt * PixelB(p);
+      }
+      mid[static_cast<size_t>(y) * dst_width + dx] = acc;
+    }
+  }
+
+  Surface out(dst_width, dst_height);
+  for (int32_t dy = 0; dy < dst_height; ++dy) {
+    const Window& w = yw[static_cast<size_t>(dy)];
+    for (int32_t dx = 0; dx < dst_width; ++dx) {
+      Acc acc;
+      for (size_t k = 0; k < w.weights.size(); ++k) {
+        const Acc& m =
+            mid[static_cast<size_t>(w.first + static_cast<int32_t>(k)) * dst_width + dx];
+        double wt = w.weights[k];
+        acc.a += wt * m.a;
+        acc.r += wt * m.r;
+        acc.g += wt * m.g;
+        acc.b += wt * m.b;
+      }
+      auto q = [](double v) {
+        return static_cast<uint8_t>(std::clamp(v + 0.5, 0.0, 255.0));
+      };
+      out.Put(dx, dy, MakePixel(q(acc.r), q(acc.g), q(acc.b), q(acc.a)));
+    }
+  }
+  return out;
+}
+
+}  // namespace thinc

@@ -1,0 +1,24 @@
+// Fant's non-aliasing spatial transform (IEEE CG&A 1986), simplified to the
+// axis-aligned separable case the THINC prototype uses for server-side
+// screen scaling (Section 7 of the paper).
+//
+// The algorithm walks output pixels and accumulates the exact fractional
+// coverage of every input pixel that overlaps the output pixel's footprint,
+// which amounts to an area-weighted (anti-aliased) resample. Unlike nearest
+// neighbour it never drops thin features, which is what keeps downscaled web
+// pages readable on PDA-sized viewports.
+#ifndef THINC_SRC_RASTER_FANT_H_
+#define THINC_SRC_RASTER_FANT_H_
+
+#include "src/raster/surface.h"
+
+namespace thinc {
+
+// Resamples `src` to dst_width x dst_height. Works for both down- and
+// up-scaling (upscaling degenerates to bilinear-style interpolation of box
+// coverage). Alpha is resampled like the color channels.
+Surface FantResample(const Surface& src, int32_t dst_width, int32_t dst_height);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_RASTER_FANT_H_

@@ -1,0 +1,30 @@
+// Built-in 5x7 bitmap font.
+//
+// Text in the window-server substrate is drawn the way X core text lands at
+// the driver layer: one stipple (bitmap) fill per glyph, which is exactly
+// the workload THINC's BITMAP command was designed for. The font covers
+// printable ASCII (lowercase maps to uppercase forms); unknown characters
+// render as a filled box.
+#ifndef THINC_SRC_RASTER_FONT_H_
+#define THINC_SRC_RASTER_FONT_H_
+
+#include "src/raster/bitmap.h"
+
+namespace thinc {
+
+inline constexpr int32_t kGlyphWidth = 5;
+inline constexpr int32_t kGlyphHeight = 7;
+// Horizontal advance and line height include 1px spacing.
+inline constexpr int32_t kGlyphAdvance = 6;
+inline constexpr int32_t kGlyphLineHeight = 9;
+
+// Returns the 5x7 glyph mask for `c`. The returned reference is to a
+// process-lifetime cached bitmap.
+const Bitmap& GlyphFor(char c);
+
+// Width in pixels of `text` when rendered at the standard advance.
+int32_t TextWidth(size_t length);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_RASTER_FONT_H_

@@ -1,0 +1,75 @@
+// Virtual-time CPU accounting.
+//
+// The paper's testbed pairs a fast server (dual 933 MHz PIII) with a slow
+// client (450 MHz PII), and several results hinge on where computation
+// happens: GoToMyPC's expensive server-side compression, ICA's client-side
+// resize, the local PC rendering pages on the slow client. A CpuAccount
+// serializes work on one host: Charge() advances a busy-until watermark and
+// returns when the work completes in virtual time.
+#ifndef THINC_SRC_UTIL_CPU_H_
+#define THINC_SRC_UTIL_CPU_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/event_loop.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+
+class CpuAccount {
+ public:
+  // `speed` is a relative speed factor: work costed for a 1.0x host takes
+  // cost/speed on this host.
+  CpuAccount(EventLoop* loop, double speed) : loop_(loop), speed_(speed) {
+    THINC_CHECK(speed > 0);
+  }
+
+  // Charges `cost` microseconds of reference-speed work starting no earlier
+  // than now; returns the completion time.
+  SimTime Charge(double cost_us) {
+    SimTime start = std::max(loop_->now(), busy_until_);
+    SimTime duration = static_cast<SimTime>(cost_us / speed_ + 0.5);
+    busy_until_ = start + duration;
+    total_busy_ += duration;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime total_busy() const { return total_busy_; }
+  double speed() const { return speed_; }
+
+ private:
+  EventLoop* loop_;
+  double speed_;
+  SimTime busy_until_ = 0;
+  SimTime total_busy_ = 0;
+};
+
+// Reference-speed cost constants (microseconds) used across systems. Values
+// are calibrated to the paper-era hardware: roughly a 1 GHz class machine.
+namespace cpucost {
+
+// Per-byte costs of the codecs (encode side; decode is cheaper).
+inline constexpr double kRc4PerByte = 0.004;
+inline constexpr double kRlePerByte = 0.008;
+inline constexpr double kLzssPerByte = 0.05;
+inline constexpr double kPngLikePerByte = 0.04;
+inline constexpr double kHextilePerByte = 0.02;
+// GoToMyPC-style "complex compression algorithms ... at the expense of high
+// server utilization" (Section 8.3).
+inline constexpr double kHeavyPerByte = 1.5;
+inline constexpr double kDecodePerByte = 0.01;
+
+// Per-pixel costs.
+inline constexpr double kRenderPerPixel = 0.008;     // software rasterization
+inline constexpr double kResamplePerPixel = 0.015;   // Fant resample (server)
+inline constexpr double kClientResamplePerPixel = 0.08;  // naive client resize
+inline constexpr double kPixelAnalysisPerPixel = 0.02;   // Sun Ray inference
+inline constexpr double kColorConvertPerPixel = 0.015;   // sw YUV->RGB
+
+}  // namespace cpucost
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_CPU_H_

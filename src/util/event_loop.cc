@@ -1,0 +1,57 @@
+#include "src/util/event_loop.h"
+
+#include <utility>
+
+namespace thinc {
+
+EventLoop::EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  queue_.emplace(Key{when, id}, std::move(fn));
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t EventLoop::RunUntil(SimTime deadline) {
+  size_t fired = 0;
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.when > deadline) {
+      break;
+    }
+    now_ = it->first.when;
+    std::function<void()> fn = std::move(it->second);
+    queue_.erase(it);
+    fn();
+    ++fired;
+  }
+  if (now_ < deadline && deadline != INT64_MAX) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+bool EventLoop::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto it = queue_.begin();
+  now_ = it->first.when;
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  fn();
+  return true;
+}
+
+}  // namespace thinc

@@ -1,0 +1,72 @@
+// Discrete-event simulator: a virtual clock plus an ordered event queue.
+//
+// Every component in the reproduction (network links, flush timers, video
+// frame sources, CPU busy-time accounting) runs against this loop, which
+// makes whole-system experiments deterministic and lets us emulate the
+// paper's testbed timing (bandwidth, RTT, CPU speeds) without wall-clock
+// dependence.
+#ifndef THINC_SRC_UTIL_EVENT_LOOP_H_
+#define THINC_SRC_UTIL_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace thinc {
+
+// Virtual time in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000000;
+
+class EventLoop {
+ public:
+  using EventId = uint64_t;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay (delay clamped to >= 0).
+  // Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId Schedule(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if already fired or unknown.
+  bool Cancel(EventId id);
+
+  // Runs until the queue is empty or `deadline` is passed (events scheduled
+  // exactly at the deadline still run). Returns the number of events fired.
+  size_t RunUntil(SimTime deadline);
+  size_t Run() { return RunUntil(INT64_MAX); }
+
+  // Runs at most one event; returns false if the queue is empty.
+  bool Step();
+
+  bool has_pending() const { return !queue_.empty(); }
+  size_t pending_count() const { return queue_.size(); }
+
+ private:
+  struct Key {
+    SimTime when;
+    EventId id;
+    bool operator<(const Key& o) const {
+      return when != o.when ? when < o.when : id < o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_EVENT_LOOP_H_

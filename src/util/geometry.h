@@ -1,0 +1,95 @@
+// Basic integer geometry used throughout the display stack.
+//
+// Coordinates follow the X window system convention: the origin is the
+// top-left corner, x grows right and y grows down. Rectangles are half-open
+// on the right/bottom edge, i.e. a Rect covers pixels with
+// x in [x, x + width) and y in [y, y + height).
+#ifndef THINC_SRC_UTIL_GEOMETRY_H_
+#define THINC_SRC_UTIL_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace thinc {
+
+struct Point {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return Point{a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return Point{a.x - b.x, a.y - b.y}; }
+
+// Axis-aligned rectangle, half-open on right and bottom edges.
+struct Rect {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t width = 0;
+  int32_t height = 0;
+
+  static constexpr Rect FromEdges(int32_t x1, int32_t y1, int32_t x2, int32_t y2) {
+    return Rect{x1, y1, x2 - x1, y2 - y1};
+  }
+
+  constexpr int32_t right() const { return x + width; }
+  constexpr int32_t bottom() const { return y + height; }
+  constexpr bool empty() const { return width <= 0 || height <= 0; }
+  constexpr int64_t area() const {
+    return empty() ? 0 : static_cast<int64_t>(width) * height;
+  }
+  constexpr Point origin() const { return Point{x, y}; }
+
+  constexpr bool Contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+  constexpr bool Contains(const Rect& r) const {
+    return !r.empty() && r.x >= x && r.y >= y && r.right() <= right() &&
+           r.bottom() <= bottom();
+  }
+  constexpr bool Intersects(const Rect& r) const {
+    return !empty() && !r.empty() && x < r.right() && r.x < right() && y < r.bottom() &&
+           r.y < bottom();
+  }
+
+  // Returns the intersection; empty (possibly degenerate) if disjoint.
+  constexpr Rect Intersect(const Rect& r) const {
+    int32_t x1 = std::max(x, r.x);
+    int32_t y1 = std::max(y, r.y);
+    int32_t x2 = std::min(right(), r.right());
+    int32_t y2 = std::min(bottom(), r.bottom());
+    if (x2 <= x1 || y2 <= y1) {
+      return Rect{};
+    }
+    return FromEdges(x1, y1, x2, y2);
+  }
+
+  // Smallest rectangle containing both; if one is empty, returns the other.
+  constexpr Rect Union(const Rect& r) const {
+    if (empty()) {
+      return r;
+    }
+    if (r.empty()) {
+      return *this;
+    }
+    return FromEdges(std::min(x, r.x), std::min(y, r.y), std::max(right(), r.right()),
+                     std::max(bottom(), r.bottom()));
+  }
+
+  constexpr Rect Translated(int32_t dx, int32_t dy) const {
+    return Rect{x + dx, y + dy, width, height};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  std::string ToString() const {
+    return "[" + std::to_string(x) + "," + std::to_string(y) + " " +
+           std::to_string(width) + "x" + std::to_string(height) + "]";
+  }
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_GEOMETRY_H_

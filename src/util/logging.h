@@ -1,0 +1,34 @@
+// Minimal logging and check macros.
+//
+// THINC_CHECK aborts on violated invariants (programming errors); it is
+// always on, including in release builds, per the "fail fast on broken
+// invariants" idiom for systems code.
+#ifndef THINC_SRC_UTIL_LOGGING_H_
+#define THINC_SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace thinc {
+
+#define THINC_CHECK(cond)                                                          \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                   #cond);                                                         \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)
+
+#define THINC_CHECK_MSG(cond, msg)                                                 \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
+                   #cond, msg);                                                    \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_LOGGING_H_

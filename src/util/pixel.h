@@ -1,0 +1,68 @@
+// 32-bit ARGB pixel helpers.
+//
+// All surfaces in the stack store pixels as packed 0xAARRGGBB. THINC's
+// protocol carries full 24-bit color plus an alpha channel (Section 3 of the
+// paper), so alpha is preserved end to end; fully-opaque content uses
+// alpha = 0xFF.
+#ifndef THINC_SRC_UTIL_PIXEL_H_
+#define THINC_SRC_UTIL_PIXEL_H_
+
+#include <cstdint>
+
+namespace thinc {
+
+using Pixel = uint32_t;
+
+constexpr Pixel MakePixel(uint8_t r, uint8_t g, uint8_t b, uint8_t a = 0xFF) {
+  return (static_cast<Pixel>(a) << 24) | (static_cast<Pixel>(r) << 16) |
+         (static_cast<Pixel>(g) << 8) | b;
+}
+
+constexpr uint8_t PixelA(Pixel p) { return static_cast<uint8_t>(p >> 24); }
+constexpr uint8_t PixelR(Pixel p) { return static_cast<uint8_t>(p >> 16); }
+constexpr uint8_t PixelG(Pixel p) { return static_cast<uint8_t>(p >> 8); }
+constexpr uint8_t PixelB(Pixel p) { return static_cast<uint8_t>(p); }
+
+constexpr Pixel kBlack = MakePixel(0, 0, 0);
+constexpr Pixel kWhite = MakePixel(0xFF, 0xFF, 0xFF);
+
+// Porter-Duff "over" with non-premultiplied source alpha.
+constexpr Pixel BlendOver(Pixel src, Pixel dst) {
+  uint32_t a = PixelA(src);
+  if (a == 0xFF) {
+    return src;
+  }
+  if (a == 0) {
+    return dst;
+  }
+  uint32_t ia = 255 - a;
+  uint8_t r = static_cast<uint8_t>((PixelR(src) * a + PixelR(dst) * ia + 127) / 255);
+  uint8_t g = static_cast<uint8_t>((PixelG(src) * a + PixelG(dst) * ia + 127) / 255);
+  uint8_t b = static_cast<uint8_t>((PixelB(src) * a + PixelB(dst) * ia + 127) / 255);
+  uint8_t oa = static_cast<uint8_t>(a + (PixelA(dst) * ia + 127) / 255);
+  return MakePixel(r, g, b, oa);
+}
+
+// Quantizes to the 3-3-2 palette used by the 8-bit GoToMyPC baseline.
+constexpr uint8_t QuantizeTo332(Pixel p) {
+  return static_cast<uint8_t>((PixelR(p) & 0xE0) | ((PixelG(p) & 0xE0) >> 3) |
+                              (PixelB(p) >> 6));
+}
+
+constexpr Pixel ExpandFrom332(uint8_t q) {
+  // Replicate high bits into low bits for a full-range expansion.
+  uint8_t r = static_cast<uint8_t>(q & 0xE0);
+  r |= r >> 3;
+  r |= r >> 6;
+  uint8_t g = static_cast<uint8_t>((q << 3) & 0xE0);
+  g |= g >> 3;
+  g |= g >> 6;
+  uint8_t b = static_cast<uint8_t>((q << 6) & 0xC0);
+  b |= b >> 2;
+  b |= b >> 4;
+  return MakePixel(r, g, b);
+}
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_PIXEL_H_

@@ -1,0 +1,43 @@
+// Deterministic PRNG (splitmix64 + xoshiro-style mixing) used by workload
+// generators and property tests. We avoid <random> engines so workloads are
+// bit-identical across standard library implementations.
+#ifndef THINC_SRC_UTIL_PRNG_H_
+#define THINC_SRC_UTIL_PRNG_H_
+
+#include <cstdint>
+
+namespace thinc {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    // splitmix64
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_PRNG_H_

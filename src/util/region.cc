@@ -1,0 +1,274 @@
+#include "src/util/region.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thinc {
+namespace {
+
+// An x interval [x1, x2).
+struct Span {
+  int32_t x1;
+  int32_t x2;
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+// Collects the x spans of `rects` that are active in the y slab [y1, y2).
+// Rects are banded and sorted, so the result is sorted and disjoint.
+std::vector<Span> SpansInSlab(const std::vector<Rect>& rects, int32_t y1, int32_t y2) {
+  std::vector<Span> spans;
+  for (const Rect& r : rects) {
+    if (r.y <= y1 && r.bottom() >= y2) {
+      spans.push_back(Span{r.x, r.right()});
+    }
+  }
+  return spans;
+}
+
+std::vector<Span> CombineSpans(const std::vector<Span>& a, const std::vector<Span>& b,
+                               bool in_a_only, bool in_b_only, bool in_both) {
+  // Sweep over x breakpoints, tracking membership in a and b.
+  std::vector<Span> out;
+  size_t ia = 0;
+  size_t ib = 0;
+  int32_t x = INT32_MIN;
+  auto emit = [&out](int32_t x1, int32_t x2) {
+    if (x1 >= x2) {
+      return;
+    }
+    if (!out.empty() && out.back().x2 == x1) {
+      out.back().x2 = x2;  // coalesce touching spans
+    } else {
+      out.push_back(Span{x1, x2});
+    }
+  };
+  while (ia < a.size() || ib < b.size()) {
+    // Next breakpoint after x.
+    int32_t next = INT32_MAX;
+    bool in_a = false;
+    bool in_b = false;
+    if (ia < a.size()) {
+      if (x < a[ia].x1) {
+        next = std::min(next, a[ia].x1);
+      } else {
+        in_a = true;
+        next = std::min(next, a[ia].x2);
+      }
+    }
+    if (ib < b.size()) {
+      if (x < b[ib].x1) {
+        next = std::min(next, b[ib].x1);
+      } else {
+        in_b = true;
+        next = std::min(next, b[ib].x2);
+      }
+    }
+    if (x == INT32_MIN) {
+      x = std::min(ia < a.size() ? a[ia].x1 : INT32_MAX,
+                   ib < b.size() ? b[ib].x1 : INT32_MAX);
+      continue;
+    }
+    bool keep = (in_a && in_b) ? in_both : (in_a ? in_a_only : (in_b ? in_b_only : false));
+    if (keep) {
+      emit(x, next);
+    }
+    if (ia < a.size() && a[ia].x2 == next) {
+      ++ia;
+    }
+    if (ib < b.size() && b[ib].x2 == next) {
+      ++ib;
+    }
+    x = next;
+  }
+  return out;
+}
+
+}  // namespace
+
+Region Region::FromRects(std::span<const Rect> rects) {
+  Region out;
+  for (const Rect& r : rects) {
+    out = out.Union(Region(r));
+  }
+  return out;
+}
+
+int64_t Region::Area() const {
+  int64_t total = 0;
+  for (const Rect& r : rects_) {
+    total += r.area();
+  }
+  return total;
+}
+
+Rect Region::Bounds() const {
+  Rect b;
+  for (const Rect& r : rects_) {
+    b = b.Union(r);
+  }
+  return b;
+}
+
+bool Region::Contains(Point p) const {
+  for (const Rect& r : rects_) {
+    if (r.Contains(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Region::ContainsRect(const Rect& r) const {
+  if (r.empty()) {
+    return true;
+  }
+  return Region(r).Subtract(*this).empty();
+}
+
+bool Region::Intersects(const Rect& r) const {
+  for (const Rect& mine : rects_) {
+    if (mine.Intersects(r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Region::Intersects(const Region& other) const {
+  // Bands are sorted; a simple all-pairs check with early bounds pruning is
+  // adequate for the small regions that flow through the display pipeline.
+  for (const Rect& r : other.rects_) {
+    if (Intersects(r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Region Region::Combine(const Region& a, const Region& b, Op op) {
+  const bool in_a_only = (op != Op::kIntersect);
+  const bool in_b_only = (op == Op::kUnion);
+  const bool in_both = (op != Op::kSubtract);
+
+  // Gather y breakpoints from both regions.
+  std::vector<int32_t> ys;
+  ys.reserve((a.rects_.size() + b.rects_.size()) * 2);
+  for (const Rect& r : a.rects_) {
+    ys.push_back(r.y);
+    ys.push_back(r.bottom());
+  }
+  for (const Rect& r : b.rects_) {
+    ys.push_back(r.y);
+    ys.push_back(r.bottom());
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  Region out;
+  // Band under construction for vertical coalescing.
+  int32_t band_y1 = 0;
+  int32_t band_y2 = 0;
+  std::vector<Span> band_spans;
+  auto flush_band = [&out](int32_t y1, int32_t y2, const std::vector<Span>& spans) {
+    for (const Span& s : spans) {
+      out.rects_.push_back(Rect::FromEdges(s.x1, y1, s.x2, y2));
+    }
+  };
+
+  for (size_t i = 0; i + 1 < ys.size(); ++i) {
+    int32_t y1 = ys[i];
+    int32_t y2 = ys[i + 1];
+    std::vector<Span> spans = CombineSpans(SpansInSlab(a.rects_, y1, y2),
+                                           SpansInSlab(b.rects_, y1, y2), in_a_only,
+                                           in_b_only, in_both);
+    if (spans.empty()) {
+      continue;
+    }
+    if (!band_spans.empty() && band_y2 == y1 && band_spans == spans) {
+      band_y2 = y2;  // vertical coalesce
+    } else {
+      flush_band(band_y1, band_y2, band_spans);
+      band_y1 = y1;
+      band_y2 = y2;
+      band_spans = std::move(spans);
+    }
+  }
+  flush_band(band_y1, band_y2, band_spans);
+  return out;
+}
+
+Region Region::Union(const Region& other) const {
+  return Combine(*this, other, Op::kUnion);
+}
+
+Region Region::Intersect(const Region& other) const {
+  return Combine(*this, other, Op::kIntersect);
+}
+
+Region Region::Subtract(const Region& other) const {
+  return Combine(*this, other, Op::kSubtract);
+}
+
+Region Region::Translated(int32_t dx, int32_t dy) const {
+  Region out;
+  out.rects_.reserve(rects_.size());
+  for (const Rect& r : rects_) {
+    out.rects_.push_back(r.Translated(dx, dy));
+  }
+  return out;
+}
+
+Region Region::Scaled(int32_t num, int32_t den) const {
+  assert(num > 0 && den > 0);
+  Region out;
+  for (const Rect& r : rects_) {
+    int64_t x1 = static_cast<int64_t>(r.x) * num / den;
+    int64_t y1 = static_cast<int64_t>(r.y) * num / den;
+    // Round the far edges outward so coverage is preserved.
+    int64_t x2 = (static_cast<int64_t>(r.right()) * num + den - 1) / den;
+    int64_t y2 = (static_cast<int64_t>(r.bottom()) * num + den - 1) / den;
+    out = out.Union(Rect::FromEdges(static_cast<int32_t>(x1), static_cast<int32_t>(y1),
+                                    static_cast<int32_t>(x2), static_cast<int32_t>(y2)));
+  }
+  return out;
+}
+
+bool Region::Validate() const {
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (rects_[i].empty()) {
+      return false;
+    }
+    for (size_t j = i + 1; j < rects_.size(); ++j) {
+      if (rects_[i].Intersects(rects_[j])) {
+        return false;
+      }
+    }
+  }
+  // Sorted by (y, x); same-band rects share y extents and do not touch.
+  for (size_t i = 1; i < rects_.size(); ++i) {
+    const Rect& p = rects_[i - 1];
+    const Rect& c = rects_[i];
+    if (c.y < p.y || (c.y == p.y && c.x <= p.x)) {
+      return false;
+    }
+    if (c.y == p.y) {
+      // Same band: identical vertical extent, and a strict horizontal gap
+      // (touching rects must have been coalesced).
+      if (c.bottom() != p.bottom() || c.x <= p.right()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Region::ToString() const {
+  std::string s = "{";
+  for (const Rect& r : rects_) {
+    s += r.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace thinc

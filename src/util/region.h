@@ -1,0 +1,80 @@
+// Region: a set of pixels represented as a y-x banded list of disjoint
+// rectangles, in the style of the X server's miRegion machinery.
+//
+// Invariants (checked by Validate() and relied upon throughout):
+//   * Rectangles are non-empty and pairwise disjoint.
+//   * Rectangles are sorted by (y, x).
+//   * Rectangles within one horizontal band share identical y extents and
+//     do not touch horizontally (touching rects are coalesced).
+//   * Vertically adjacent bands with identical x-structure are coalesced.
+//
+// This canonical form makes equality comparison structural and keeps the
+// rect count near-minimal, which matters because THINC protocol commands
+// carry their destination as a region.
+#ifndef THINC_SRC_UTIL_REGION_H_
+#define THINC_SRC_UTIL_REGION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/geometry.h"
+
+namespace thinc {
+
+class Region {
+ public:
+  Region() = default;
+  explicit Region(const Rect& r) {
+    if (!r.empty()) {
+      rects_.push_back(r);
+    }
+  }
+  // Builds the canonical union of an arbitrary rect list.
+  static Region FromRects(std::span<const Rect> rects);
+
+  bool empty() const { return rects_.empty(); }
+  int64_t Area() const;
+  const std::vector<Rect>& rects() const { return rects_; }
+  size_t rect_count() const { return rects_.size(); }
+
+  // Bounding box (empty Rect if region is empty).
+  Rect Bounds() const;
+
+  bool Contains(Point p) const;
+  // True if `r` is entirely inside the region.
+  bool ContainsRect(const Rect& r) const;
+  bool Intersects(const Rect& r) const;
+  bool Intersects(const Region& other) const;
+
+  Region Union(const Region& other) const;
+  Region Intersect(const Region& other) const;
+  Region Subtract(const Region& other) const;
+  Region Intersect(const Rect& r) const { return Intersect(Region(r)); }
+  Region Subtract(const Rect& r) const { return Subtract(Region(r)); }
+  Region Union(const Rect& r) const { return Union(Region(r)); }
+
+  Region Translated(int32_t dx, int32_t dy) const;
+
+  // Scales every coordinate by num/den with outward rounding so that the
+  // scaled region covers at least the scaled area (used by server resize).
+  Region Scaled(int32_t num, int32_t den) const;
+
+  bool operator==(const Region& other) const { return rects_ == other.rects_; }
+
+  // Checks the banding invariants; used by tests.
+  bool Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Op { kUnion, kIntersect, kSubtract };
+  static Region Combine(const Region& a, const Region& b, Op op);
+
+  std::vector<Rect> rects_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_UTIL_REGION_H_

@@ -1,0 +1,89 @@
+// Web browsing workload: a deterministic stand-in for the i-Bench Web Page
+// Load suite the paper uses (54 pages with a mix of text and graphics,
+// Section 8.2), rendered the way Mozilla renders — through a hierarchy of
+// offscreen pixmaps that is composed and then copied onscreen. That
+// rendering style is exactly what exercises THINC's offscreen awareness and
+// what starves systems that ignore offscreen drawing.
+//
+// Page structure per index (deterministic from the seed):
+//   * a solid page background and a tiled header strip,
+//   * paragraphs of text (glyph stipple fills),
+//   * inline images rasterized scanline-strip by scanline-strip into their
+//     own small pixmaps, then copied into the page pixmap (the hierarchy),
+//   * on some pages an anti-aliased (alpha-composited) banner,
+//   * a handful of pages that are one single large image (the pages the
+//     paper notes THINC handles with plain RAW + compression),
+//   * a few scroll steps after display (COPY-accelerated scrolling).
+#ifndef THINC_SRC_WORKLOAD_WEB_H_
+#define THINC_SRC_WORKLOAD_WEB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/display/drawing_api.h"
+#include "src/util/cpu.h"
+#include "src/util/geometry.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+
+struct WebImageSpec {
+  Rect rect;  // position within the page
+};
+
+struct WebTextBlock {
+  Point origin;
+  int32_t lines;
+  int32_t chars_per_line;
+};
+
+struct WebPageSpec {
+  int32_t index = 0;
+  Pixel background = kWhite;
+  bool tiled_header = false;
+  bool aa_banner = false;        // anti-aliased (composited) banner
+  bool big_image_page = false;   // page is one large image
+  std::vector<WebTextBlock> text;
+  std::vector<WebImageSpec> images;
+  int32_t scroll_steps = 0;
+  int64_t content_bytes = 0;     // HTML + compressed images (fetch volume)
+  double layout_cost_us = 0;     // browser layout work at reference speed
+};
+
+class WebWorkload {
+ public:
+  static constexpr int32_t kPageCount = 54;
+
+  explicit WebWorkload(int32_t screen_width, int32_t screen_height,
+                       uint64_t seed = 1);
+
+  const WebPageSpec& page(int32_t index) const { return pages_[index]; }
+  int32_t page_count() const { return kPageCount; }
+
+  // Where the "next page" link sits on the current page (the mechanical
+  // mouse clicks here).
+  Point LinkPosition(int32_t index) const;
+
+  // Issues page `index`'s full rendering through `api`, charging browser
+  // layout work to `app_cpu` first.
+  void RenderPage(DrawingApi* api, int32_t index, CpuAccount* app_cpu) const;
+
+  // Deterministic image content (gradient + hash noise, moderately
+  // compressible like real web graphics).
+  static std::vector<Pixel> ImageContent(int32_t page, int32_t image, int32_t width,
+                                         int32_t height);
+
+  // Deterministic text line for a page/block/line triple.
+  static std::string TextLine(int32_t page, int32_t block, int32_t line,
+                              int32_t chars);
+
+ private:
+  int32_t width_;
+  int32_t height_;
+  std::vector<WebPageSpec> pages_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_WORKLOAD_WEB_H_

@@ -1,0 +1,54 @@
+#include "src/util/cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace thinc {
+namespace {
+
+TEST(CpuAccountTest, ChargeAdvancesBusyUntil) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  EXPECT_EQ(cpu.Charge(100), 100);
+  EXPECT_EQ(cpu.busy_until(), 100);
+}
+
+TEST(CpuAccountTest, SerializesWork) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  cpu.Charge(100);
+  EXPECT_EQ(cpu.Charge(50), 150);  // queued behind the first charge
+}
+
+TEST(CpuAccountTest, SpeedScalesDuration) {
+  EventLoop loop;
+  CpuAccount fast(&loop, 2.0);
+  CpuAccount slow(&loop, 0.5);
+  EXPECT_EQ(fast.Charge(100), 50);
+  EXPECT_EQ(slow.Charge(100), 200);
+}
+
+TEST(CpuAccountTest, IdleGapResetsStart) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  cpu.Charge(10);
+  loop.Schedule(100, [] {});
+  loop.Run();  // now = 100, cpu idle since 10
+  EXPECT_EQ(cpu.Charge(5), 105);
+}
+
+TEST(CpuAccountTest, TotalBusyAccumulates) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  cpu.Charge(30);
+  cpu.Charge(20);
+  EXPECT_EQ(cpu.total_busy(), 50);
+}
+
+TEST(CpuAccountTest, FractionalCostRounds) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  EXPECT_EQ(cpu.Charge(0.6), 1);
+}
+
+}  // namespace
+}  // namespace thinc

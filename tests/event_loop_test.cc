@@ -1,0 +1,131 @@
+#include "src/util/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thinc {
+namespace {
+
+TEST(EventLoopTest, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_FALSE(loop.has_pending());
+}
+
+TEST(EventLoopTest, RunsEventAtScheduledTime) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.Schedule(100, [&] { fired_at = loop.now(); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 100);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, OrdersByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(200, [&] { order.push_back(2); });
+  loop.Schedule(100, [&] { order.push_back(1); });
+  loop.Schedule(300, [&] { order.push_back(3); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, SameTimeFifoByScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(50, [&] { order.push_back(1); });
+  loop.Schedule(50, [&] { order.push_back(2); });
+  loop.Schedule(50, [&] { order.push_back(3); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      loop.Schedule(10, tick);
+    }
+  };
+  loop.Schedule(10, tick);
+  loop.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), 50);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(100, [&] { ++fired; });
+  loop.Schedule(200, [&] { ++fired; });
+  size_t n = loop.RunUntil(150);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 150);  // clock advances to the deadline
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, RunUntilIncludesExactDeadline) {
+  EventLoop loop;
+  bool fired = false;
+  loop.Schedule(100, [&] { fired = true; });
+  loop.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoopTest, CancelPendingEvent) {
+  EventLoop loop;
+  bool fired = false;
+  EventLoop::EventId id = loop.Schedule(100, [&] { fired = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(loop.Cancel(id));  // already gone
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.Schedule(100, [] {});
+  loop.Run();
+  SimTime fired_at = -1;
+  loop.Schedule(-50, [&] { fired_at = loop.now(); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventLoopTest, StepRunsOneEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1, [&] { ++fired; });
+  loop.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(EventLoopTest, ScheduleAtAbsoluteTime) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.ScheduleAt(12345, [&] { fired_at = loop.now(); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 12345);
+}
+
+TEST(EventLoopTest, PastAbsoluteTimeRunsImmediately) {
+  EventLoop loop;
+  loop.Schedule(500, [] {});
+  loop.Run();
+  SimTime fired_at = -1;
+  loop.ScheduleAt(100, [&] { fired_at = loop.now(); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 500);  // clamped to now
+}
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,129 @@
+// Sanity checks on the experiment harness plus coarse paper-shape
+// assertions on miniature runs (the full sweeps live in bench/).
+#include "src/measure/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace thinc {
+namespace {
+
+TEST(ExperimentConfigTest, PresetsMatchPaper) {
+  EXPECT_EQ(LanDesktopConfig().link.bandwidth_bps, 100'000'000);
+  EXPECT_EQ(WanDesktopConfig().link.rtt, 66'000);
+  EXPECT_TRUE(WanDesktopConfig().wan_profile);
+  ASSERT_TRUE(Pda80211gConfig().viewport.has_value());
+  EXPECT_EQ(Pda80211gConfig().viewport->x, 320);
+  EXPECT_EQ(Pda80211gConfig().screen_width, 1024);
+}
+
+TEST(ExperimentConfigTest, AllSystemsConstructible) {
+  for (SystemKind kind :
+       {SystemKind::kThinc, SystemKind::kX, SystemKind::kNx, SystemKind::kVnc,
+        SystemKind::kSunRay, SystemKind::kRdp, SystemKind::kIca,
+        SystemKind::kGotomypc, SystemKind::kLocalPc}) {
+    EventLoop loop;
+    ExperimentConfig config = LanDesktopConfig();
+    std::unique_ptr<RemoteDisplaySystem> sys = MakeSystem(kind, &loop, config);
+    ASSERT_NE(sys, nullptr);
+    EXPECT_STREQ(sys->name().c_str(), SystemName(kind));
+  }
+}
+
+TEST(IperfTest, MeasuresBandwidthCap) {
+  double mbps = MeasureIperfMbps(LanDesktopLink(), kSecond);
+  EXPECT_GT(mbps, 80.0);
+  EXPECT_LE(mbps, 101.0);
+}
+
+TEST(IperfTest, MeasuresWindowCap) {
+  LinkParams kr{100'000'000, 150'000, 256 << 10, "kr"};
+  double mbps = MeasureIperfMbps(kr, 2 * kSecond);
+  EXPECT_LT(mbps, 20.0);
+  EXPECT_GT(mbps, 5.0);
+}
+
+TEST(WebBenchmarkTest, ProducesPerPageResults) {
+  WebRunResult r = RunWebBenchmark(SystemKind::kThinc, LanDesktopConfig(), 3);
+  ASSERT_EQ(r.pages.size(), 3u);
+  for (const PageResult& p : r.pages) {
+    EXPECT_GT(p.latency_ms, 0);
+    EXPECT_GE(p.latency_with_client_ms, p.latency_ms);
+    EXPECT_GT(p.bytes, 0);
+  }
+  EXPECT_GT(r.AvgLatencyMs(false), 0);
+  EXPECT_GT(r.AvgPageKb(), 0);
+}
+
+TEST(WebBenchmarkTest, ThincFasterThanScrapingInLan) {
+  WebRunResult thinc = RunWebBenchmark(SystemKind::kThinc, LanDesktopConfig(), 4);
+  WebRunResult vnc = RunWebBenchmark(SystemKind::kVnc, LanDesktopConfig(), 4);
+  EXPECT_LT(thinc.AvgLatencyMs(true), vnc.AvgLatencyMs(true));
+  // "Almost half the data" vs VNC (Section 8.3).
+  EXPECT_LT(thinc.AvgPageKb(), vnc.AvgPageKb() * 0.7);
+}
+
+TEST(WebBenchmarkTest, ThincDegradesLittleLanToWan) {
+  WebRunResult lan = RunWebBenchmark(SystemKind::kThinc, LanDesktopConfig(), 4);
+  WebRunResult wan = RunWebBenchmark(SystemKind::kThinc, WanDesktopConfig(), 4);
+  EXPECT_LT(wan.AvgLatencyMs(true), lan.AvgLatencyMs(true) * 1.8);
+}
+
+TEST(WebBenchmarkTest, XDegradesBadlyLanToWan) {
+  WebRunResult lan = RunWebBenchmark(SystemKind::kX, LanDesktopConfig(), 4);
+  WebRunResult wan = RunWebBenchmark(SystemKind::kX, WanDesktopConfig(), 4);
+  // "About two and a half times worse" (Section 8.3); assert > 1.8x.
+  EXPECT_GT(wan.AvgLatencyMs(true), lan.AvgLatencyMs(true) * 1.8);
+}
+
+TEST(AvBenchmarkTest, ThincPerfectQualityLan) {
+  AvRunResult r = RunAvBenchmark(SystemKind::kThinc, LanDesktopConfig(),
+                                 2 * kSecond);
+  EXPECT_GE(r.quality, 0.99);
+  EXPECT_EQ(r.frames_displayed, r.frames_total);
+  // ~24 Mbps of YV12 (Section 8.3).
+  EXPECT_GT(r.bandwidth_mbps, 20.0);
+  EXPECT_LT(r.bandwidth_mbps, 30.0);
+  EXPECT_GE(r.audio_fraction, 0.99);
+}
+
+TEST(AvBenchmarkTest, ThincPerfectQualityWanAndPda) {
+  EXPECT_GE(RunAvBenchmark(SystemKind::kThinc, WanDesktopConfig(), 2 * kSecond)
+                .quality,
+            0.99);
+  AvRunResult pda =
+      RunAvBenchmark(SystemKind::kThinc, Pda80211gConfig(), 2 * kSecond);
+  EXPECT_GE(pda.quality, 0.99);
+  // Server-resized video: a few Mbps, well under the 24 Mbps desktop rate.
+  EXPECT_LT(pda.bandwidth_mbps, 6.0);
+}
+
+TEST(AvBenchmarkTest, VncQualityPoorAndVideoOnly) {
+  AvRunResult r = RunAvBenchmark(SystemKind::kVnc, LanDesktopConfig(), 2 * kSecond);
+  EXPECT_LT(r.quality, 0.5);
+  EXPECT_FALSE(r.audio_supported);  // VNC measured video-only, like the paper
+}
+
+TEST(AvBenchmarkTest, LocalPcPerfectAndCheap) {
+  AvRunResult r = RunAvBenchmark(SystemKind::kLocalPc, LanDesktopConfig(),
+                                 2 * kSecond);
+  EXPECT_GE(r.quality, 0.99);
+  EXPECT_LT(r.bandwidth_mbps, 2.0);  // the encoded stream only (~1.2 Mbps)
+}
+
+TEST(RemoteSiteConfigTest, BuildsFromTable2) {
+  for (const RemoteSite& site : RemoteSites()) {
+    ExperimentConfig config = RemoteSiteConfig(site);
+    EXPECT_EQ(config.name, site.name);
+    EXPECT_EQ(config.link.rtt, site.link.rtt);
+  }
+}
+
+TEST(BenchClipDurationTest, DefaultIsQuarterClip) {
+  // (Assumes THINC_AV_FULL is unset in the test environment.)
+  if (std::getenv("THINC_AV_FULL") == nullptr) {
+    EXPECT_NEAR(static_cast<double>(BenchClipDuration()) / kSecond, 8.6875, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,164 @@
+#include "src/raster/fant.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+TEST(FantTest, IdentityScale) {
+  Surface s(8, 8, kBlack);
+  Prng rng(1);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      s.Put(x, y, MakePixel(static_cast<uint8_t>(rng.Next()),
+                            static_cast<uint8_t>(rng.Next()),
+                            static_cast<uint8_t>(rng.Next())));
+    }
+  }
+  Surface out = FantResample(s, 8, 8);
+  EXPECT_TRUE(out.Equals(s));
+}
+
+TEST(FantTest, ConstantStaysConstantOnDownscale) {
+  Surface s(64, 64, MakePixel(123, 45, 67));
+  Surface out = FantResample(s, 20, 15);
+  for (int y = 0; y < 15; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      EXPECT_EQ(out.At(x, y), MakePixel(123, 45, 67));
+    }
+  }
+}
+
+TEST(FantTest, ConstantStaysConstantOnUpscale) {
+  Surface s(10, 10, MakePixel(200, 100, 50));
+  Surface out = FantResample(s, 33, 47);
+  for (int y = 0; y < 47; ++y) {
+    for (int x = 0; x < 33; ++x) {
+      EXPECT_EQ(out.At(x, y), MakePixel(200, 100, 50));
+    }
+  }
+}
+
+TEST(FantTest, OutputDimensions) {
+  Surface s(100, 50);
+  Surface out = FantResample(s, 31, 17);
+  EXPECT_EQ(out.width(), 31);
+  EXPECT_EQ(out.height(), 17);
+}
+
+TEST(FantTest, HalfDownscaleAveragesBlocks) {
+  Surface s(2, 2, kBlack);
+  s.Put(0, 0, MakePixel(0, 0, 0));
+  s.Put(1, 0, MakePixel(255, 255, 255));
+  s.Put(0, 1, MakePixel(255, 255, 255));
+  s.Put(1, 1, MakePixel(0, 0, 0));
+  Surface out = FantResample(s, 1, 1);
+  Pixel p = out.At(0, 0);
+  EXPECT_NEAR(PixelR(p), 128, 2);
+}
+
+TEST(FantTest, EnergyPreservedOnDownscale) {
+  // Mean luminance before and after a 4x downscale must match closely —
+  // the anti-aliasing property (no dropped thin features).
+  Surface s(64, 64, kBlack);
+  Prng rng(7);
+  double mean_in = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      uint8_t v = static_cast<uint8_t>(rng.Next());
+      s.Put(x, y, MakePixel(v, v, v));
+      mean_in += v;
+    }
+  }
+  mean_in /= 64 * 64;
+  Surface out = FantResample(s, 16, 16);
+  double mean_out = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      mean_out += PixelR(out.At(x, y));
+    }
+  }
+  mean_out /= 16 * 16;
+  EXPECT_NEAR(mean_out, mean_in, 2.0);
+}
+
+TEST(FantTest, ThinLineSurvivesDownscale) {
+  // Nearest-neighbour would drop a 1px line at 1/4 scale half the time;
+  // Fant must preserve its energy as a gray line.
+  Surface s(40, 40, kWhite);
+  s.FillRect(Rect{0, 18, 40, 1}, kBlack);  // 1px horizontal black line
+  Surface out = FantResample(s, 10, 10);
+  int darkened = 0;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      if (PixelR(out.At(x, y)) < 250) {
+        ++darkened;
+      }
+    }
+  }
+  EXPECT_GE(darkened, 10);  // the full line's width survives
+}
+
+TEST(FantTest, GradientMonotoneAfterResample) {
+  Surface s(64, 1, kBlack);
+  for (int x = 0; x < 64; ++x) {
+    s.Put(x, 0, MakePixel(static_cast<uint8_t>(x * 4), 0, 0));
+  }
+  Surface out = FantResample(s, 16, 1);
+  for (int x = 1; x < 16; ++x) {
+    EXPECT_GE(PixelR(out.At(x, 0)), PixelR(out.At(x - 1, 0)));
+  }
+}
+
+TEST(FantTest, AlphaChannelResampled) {
+  Surface s(4, 4, MakePixel(10, 10, 10, 0));
+  s.FillRect(Rect{0, 0, 4, 2}, MakePixel(10, 10, 10, 255));
+  Surface out = FantResample(s, 1, 1);
+  EXPECT_NEAR(PixelA(out.At(0, 0)), 128, 3);
+}
+
+TEST(FantTest, ExtremeDownscaleToOnePixel) {
+  Surface s(100, 100, MakePixel(50, 100, 150));
+  Surface out = FantResample(s, 1, 1);
+  EXPECT_EQ(out.At(0, 0), MakePixel(50, 100, 150));
+}
+
+TEST(FantTest, UpscaleInterpolatesBetweenPixels) {
+  Surface s(2, 1, kBlack);
+  s.Put(0, 0, MakePixel(0, 0, 0));
+  s.Put(1, 0, MakePixel(200, 200, 200));
+  Surface out = FantResample(s, 8, 1);
+  EXPECT_LT(PixelR(out.At(0, 0)), 40);
+  EXPECT_GT(PixelR(out.At(7, 0)), 160);
+  // Middle pixels between the extremes.
+  EXPECT_GT(PixelR(out.At(4, 0)), 40);
+  EXPECT_LT(PixelR(out.At(4, 0)), 200);
+}
+
+TEST(FantTest, PaperPdaScaleIsReadable) {
+  // 1024 -> 320 (the paper's PDA factor): a checkerboard must not alias to
+  // a constant field — adjacent output pixels must retain contrast.
+  Surface s(64, 64, kWhite);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (((x / 8) + (y / 8)) % 2 == 0) {
+        s.Put(x, y, kBlack);
+      }
+    }
+  }
+  Surface out = FantResample(s, 20, 20);
+  int contrast_pairs = 0;
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 1; x < 20; ++x) {
+      if (std::abs(PixelR(out.At(x, y)) - PixelR(out.At(x - 1, y))) > 60) {
+        ++contrast_pairs;
+      }
+    }
+  }
+  EXPECT_GT(contrast_pairs, 30);
+}
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,63 @@
+#include "src/raster/font.h"
+
+#include <gtest/gtest.h>
+
+namespace thinc {
+namespace {
+
+TEST(FontTest, GlyphDimensions) {
+  const Bitmap& a = GlyphFor('A');
+  EXPECT_EQ(a.width(), kGlyphWidth);
+  EXPECT_EQ(a.height(), kGlyphHeight);
+}
+
+TEST(FontTest, PrintableGlyphsHaveInk) {
+  for (char c :
+       std::string("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.,:;!?-+=/()[]<>@#$%&*")) {
+    const Bitmap& g = GlyphFor(c);
+    int on = 0;
+    for (int y = 0; y < g.height(); ++y) {
+      for (int x = 0; x < g.width(); ++x) {
+        if (g.Get(x, y)) {
+          ++on;
+        }
+      }
+    }
+    EXPECT_GT(on, 0) << "glyph '" << c << "' is blank";
+  }
+}
+
+TEST(FontTest, SpaceIsBlank) {
+  const Bitmap& g = GlyphFor(' ');
+  for (int y = 0; y < g.height(); ++y) {
+    for (int x = 0; x < g.width(); ++x) {
+      EXPECT_FALSE(g.Get(x, y));
+    }
+  }
+}
+
+TEST(FontTest, LowercaseMapsToUppercase) {
+  EXPECT_EQ(GlyphFor('a'), GlyphFor('A'));
+  EXPECT_EQ(GlyphFor('z'), GlyphFor('Z'));
+}
+
+TEST(FontTest, UnknownCharacterGetsBoxGlyph) {
+  const Bitmap& g = GlyphFor('\x7F');
+  EXPECT_TRUE(g.Get(0, 0));
+  EXPECT_TRUE(g.Get(kGlyphWidth - 1, kGlyphHeight - 1));
+  EXPECT_FALSE(g.Get(2, 3));  // hollow box
+}
+
+TEST(FontTest, DistinctLetterShapes) {
+  EXPECT_FALSE(GlyphFor('A') == GlyphFor('B'));
+  EXPECT_FALSE(GlyphFor('O') == GlyphFor('0'));
+  EXPECT_FALSE(GlyphFor('I') == GlyphFor('1'));
+}
+
+TEST(FontTest, TextWidthAdvance) {
+  EXPECT_EQ(TextWidth(0), 0);
+  EXPECT_EQ(TextWidth(10), 10 * kGlyphAdvance);
+}
+
+}  // namespace
+}  // namespace thinc

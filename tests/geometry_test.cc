@@ -1,0 +1,103 @@
+#include "src/util/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace thinc {
+namespace {
+
+TEST(RectTest, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(RectTest, EdgesAndArea) {
+  Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.right(), 40);
+  EXPECT_EQ(r.bottom(), 60);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(RectTest, FromEdges) {
+  Rect r = Rect::FromEdges(5, 6, 15, 26);
+  EXPECT_EQ(r, (Rect{5, 6, 10, 20}));
+}
+
+TEST(RectTest, NegativeDimensionsAreEmpty) {
+  EXPECT_TRUE((Rect{0, 0, -5, 10}).empty());
+  EXPECT_TRUE((Rect{0, 0, 10, 0}).empty());
+  EXPECT_EQ((Rect{0, 0, -5, 10}).area(), 0);
+}
+
+TEST(RectTest, ContainsPointHalfOpen) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{9, 9}));
+  EXPECT_FALSE(r.Contains(Point{10, 9}));   // right edge exclusive
+  EXPECT_FALSE(r.Contains(Point{9, 10}));   // bottom edge exclusive
+  EXPECT_FALSE(r.Contains(Point{-1, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer{0, 0, 100, 100};
+  EXPECT_TRUE(outer.Contains(Rect{0, 0, 100, 100}));
+  EXPECT_TRUE(outer.Contains(Rect{10, 10, 20, 20}));
+  EXPECT_FALSE(outer.Contains(Rect{90, 90, 20, 20}));
+  // Empty rects are vacuously not contained (by the !empty() guard).
+  EXPECT_FALSE(outer.Contains(Rect{}));
+}
+
+TEST(RectTest, IntersectsBasic) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.Intersects(Rect{5, 5, 10, 10}));
+  EXPECT_FALSE(a.Intersects(Rect{10, 0, 5, 5}));  // touching is not overlap
+  EXPECT_FALSE(a.Intersects(Rect{0, 10, 5, 5}));
+  EXPECT_FALSE(a.Intersects(Rect{}));
+}
+
+TEST(RectTest, IntersectComputesOverlap) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 10, 10};
+  EXPECT_EQ(a.Intersect(b), (Rect{5, 5, 5, 5}));
+  EXPECT_TRUE(a.Intersect(Rect{20, 20, 5, 5}).empty());
+}
+
+TEST(RectTest, IntersectIsCommutative) {
+  Rect a{2, 3, 11, 7};
+  Rect b{-4, 5, 20, 30};
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+}
+
+TEST(RectTest, UnionBoundingBox) {
+  Rect a{0, 0, 10, 10};
+  Rect b{20, 20, 5, 5};
+  EXPECT_EQ(a.Union(b), Rect::FromEdges(0, 0, 25, 25));
+}
+
+TEST(RectTest, UnionWithEmpty) {
+  Rect a{1, 2, 3, 4};
+  EXPECT_EQ(a.Union(Rect{}), a);
+  EXPECT_EQ(Rect{}.Union(a), a);
+}
+
+TEST(RectTest, Translated) {
+  Rect r{1, 2, 3, 4};
+  EXPECT_EQ(r.Translated(10, -5), (Rect{11, -3, 3, 4}));
+}
+
+TEST(RectTest, NegativeCoordinates) {
+  Rect r{-10, -10, 20, 20};
+  EXPECT_TRUE(r.Contains(Point{-1, -1}));
+  EXPECT_EQ(r.Intersect(Rect{0, 0, 5, 5}), (Rect{0, 0, 5, 5}));
+}
+
+TEST(PointTest, Arithmetic) {
+  Point a{3, 4};
+  Point b{1, 2};
+  EXPECT_EQ(a + b, (Point{4, 6}));
+  EXPECT_EQ(a - b, (Point{2, 2}));
+}
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,64 @@
+#include "src/util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace thinc {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, NextBelowInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(PrngTest, NextInRangeInclusive) {
+  Prng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, ZeroSeedIsUsable) {
+  Prng rng(0);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+}  // namespace
+}  // namespace thinc

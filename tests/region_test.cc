@@ -1,0 +1,226 @@
+#include "src/util/region.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+// Brute-force membership oracle for property checks.
+bool OracleContains(const std::vector<Rect>& rects, Point p) {
+  for (const Rect& r : rects) {
+    if (r.Contains(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RegionTest, EmptyRegion) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0);
+  EXPECT_TRUE(r.Bounds().empty());
+  EXPECT_TRUE(r.Validate());
+}
+
+TEST(RegionTest, SingleRect) {
+  Region r(Rect{1, 2, 3, 4});
+  EXPECT_EQ(r.Area(), 12);
+  EXPECT_EQ(r.rect_count(), 1u);
+  EXPECT_EQ(r.Bounds(), (Rect{1, 2, 3, 4}));
+  EXPECT_TRUE(r.Validate());
+}
+
+TEST(RegionTest, EmptyRectMakesEmptyRegion) {
+  Region r(Rect{5, 5, 0, 10});
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RegionTest, UnionDisjoint) {
+  Region a(Rect{0, 0, 10, 10});
+  Region u = a.Union(Rect{20, 20, 10, 10});
+  EXPECT_EQ(u.Area(), 200);
+  EXPECT_TRUE(u.Validate());
+}
+
+TEST(RegionTest, UnionOverlapping) {
+  Region a(Rect{0, 0, 10, 10});
+  Region u = a.Union(Rect{5, 5, 10, 10});
+  EXPECT_EQ(u.Area(), 175);  // 100 + 100 - 25
+  EXPECT_TRUE(u.Validate());
+}
+
+TEST(RegionTest, UnionTouchingCoalesces) {
+  Region a(Rect{0, 0, 10, 10});
+  Region u = a.Union(Rect{10, 0, 10, 10});
+  EXPECT_EQ(u.rect_count(), 1u);
+  EXPECT_EQ(u.Bounds(), (Rect{0, 0, 20, 10}));
+}
+
+TEST(RegionTest, VerticalCoalesce) {
+  Region a(Rect{0, 0, 10, 10});
+  Region u = a.Union(Rect{0, 10, 10, 10});
+  EXPECT_EQ(u.rect_count(), 1u);
+  EXPECT_EQ(u.Bounds(), (Rect{0, 0, 10, 20}));
+}
+
+TEST(RegionTest, IntersectBasic) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b(Rect{5, 5, 10, 10});
+  Region i = a.Intersect(b);
+  EXPECT_EQ(i.Area(), 25);
+  EXPECT_EQ(i.Bounds(), (Rect{5, 5, 5, 5}));
+}
+
+TEST(RegionTest, IntersectDisjointIsEmpty) {
+  Region a(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(a.Intersect(Rect{50, 50, 5, 5}).empty());
+}
+
+TEST(RegionTest, SubtractHole) {
+  Region a(Rect{0, 0, 10, 10});
+  Region s = a.Subtract(Rect{3, 3, 4, 4});
+  EXPECT_EQ(s.Area(), 100 - 16);
+  EXPECT_FALSE(s.Contains(Point{5, 5}));
+  EXPECT_TRUE(s.Contains(Point{0, 0}));
+  EXPECT_TRUE(s.Validate());
+}
+
+TEST(RegionTest, SubtractEverything) {
+  Region a(Rect{2, 2, 5, 5});
+  EXPECT_TRUE(a.Subtract(Rect{0, 0, 20, 20}).empty());
+}
+
+TEST(RegionTest, SubtractNothing) {
+  Region a(Rect{0, 0, 10, 10});
+  Region s = a.Subtract(Rect{50, 50, 5, 5});
+  EXPECT_EQ(s, a);
+}
+
+TEST(RegionTest, SubtractThenUnionRestores) {
+  Region a(Rect{0, 0, 20, 20});
+  Rect hole{5, 5, 6, 6};
+  Region restored = a.Subtract(hole).Union(hole);
+  EXPECT_EQ(restored, a);
+}
+
+TEST(RegionTest, ContainsRect) {
+  Region a = Region(Rect{0, 0, 10, 20}).Union(Rect{10, 0, 10, 20});
+  EXPECT_TRUE(a.ContainsRect(Rect{5, 5, 10, 10}));  // spans the seam
+  EXPECT_FALSE(a.ContainsRect(Rect{15, 15, 10, 10}));
+  EXPECT_TRUE(a.ContainsRect(Rect{}));  // empty is vacuously contained
+}
+
+TEST(RegionTest, IntersectsRegion) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b(Rect{9, 9, 5, 5});
+  Region c(Rect{30, 30, 5, 5});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(RegionTest, Translated) {
+  Region a = Region(Rect{0, 0, 5, 5}).Union(Rect{10, 10, 5, 5});
+  Region t = a.Translated(100, 200);
+  EXPECT_EQ(t.Area(), a.Area());
+  EXPECT_TRUE(t.Contains(Point{102, 202}));
+  EXPECT_TRUE(t.Contains(Point{112, 212}));
+  EXPECT_TRUE(t.Validate());
+}
+
+TEST(RegionTest, EqualityIsStructural) {
+  // Same pixel set built two different ways must compare equal (canonical
+  // form).
+  Region a = Region(Rect{0, 0, 10, 5}).Union(Rect{0, 5, 10, 5});
+  Region b(Rect{0, 0, 10, 10});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegionTest, FromRects) {
+  std::vector<Rect> rects = {{0, 0, 5, 5}, {3, 3, 5, 5}, {20, 0, 2, 2}};
+  Region r = Region::FromRects(rects);
+  EXPECT_EQ(r.Area(), 25 + 25 - 4 + 4);
+  EXPECT_TRUE(r.Validate());
+}
+
+TEST(RegionTest, ScaledDownCoversScaledArea) {
+  Region a(Rect{0, 0, 32, 32});
+  Region s = a.Scaled(1, 4);
+  EXPECT_EQ(s.Bounds(), (Rect{0, 0, 8, 8}));
+}
+
+TEST(RegionTest, ScaledRoundsOutward) {
+  Region a(Rect{1, 1, 2, 2});  // scaled by 1/4: [0.25, 0.75] -> [0, 1)
+  Region s = a.Scaled(1, 4);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.Contains(Point{0, 0}));
+}
+
+TEST(RegionTest, ScaledUp) {
+  Region a(Rect{2, 3, 4, 5});
+  Region s = a.Scaled(3, 1);
+  EXPECT_EQ(s.Bounds(), (Rect{6, 9, 12, 15}));
+}
+
+TEST(RegionTest, BandStructureDisjoint) {
+  // An L-shape: two bands, all invariants hold.
+  Region r = Region(Rect{0, 0, 20, 10}).Union(Rect{0, 10, 10, 10});
+  EXPECT_TRUE(r.Validate());
+  EXPECT_EQ(r.Area(), 300);
+}
+
+TEST(RegionTest, ManyRects) {
+  Region r;
+  for (int i = 0; i < 20; ++i) {
+    r = r.Union(Rect{i * 10, (i % 3) * 10, 8, 8});
+  }
+  EXPECT_TRUE(r.Validate());
+  EXPECT_EQ(r.Area(), 20 * 64);
+}
+
+// Property sweep: region ops agree with a brute-force pixel oracle.
+class RegionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionPropertyTest, OpsMatchPixelOracle) {
+  Prng rng(GetParam());
+  std::vector<Rect> set_a;
+  std::vector<Rect> set_b;
+  for (int i = 0; i < 6; ++i) {
+    set_a.push_back(Rect{static_cast<int32_t>(rng.NextBelow(40)),
+                         static_cast<int32_t>(rng.NextBelow(40)),
+                         static_cast<int32_t>(rng.NextInRange(1, 20)),
+                         static_cast<int32_t>(rng.NextInRange(1, 20))});
+    set_b.push_back(Rect{static_cast<int32_t>(rng.NextBelow(40)),
+                         static_cast<int32_t>(rng.NextBelow(40)),
+                         static_cast<int32_t>(rng.NextInRange(1, 20)),
+                         static_cast<int32_t>(rng.NextInRange(1, 20))});
+  }
+  Region a = Region::FromRects(set_a);
+  Region b = Region::FromRects(set_b);
+  Region u = a.Union(b);
+  Region i = a.Intersect(b);
+  Region s = a.Subtract(b);
+  ASSERT_TRUE(u.Validate());
+  ASSERT_TRUE(i.Validate());
+  ASSERT_TRUE(s.Validate());
+  for (int32_t y = 0; y < 64; ++y) {
+    for (int32_t x = 0; x < 64; ++x) {
+      Point p{x, y};
+      bool in_a = OracleContains(set_a, p);
+      bool in_b = OracleContains(set_b, p);
+      ASSERT_EQ(u.Contains(p), in_a || in_b) << x << "," << y;
+      ASSERT_EQ(i.Contains(p), in_a && in_b) << x << "," << y;
+      ASSERT_EQ(s.Contains(p), in_a && !in_b) << x << "," << y;
+    }
+  }
+  // De Morgan-ish identity: area(a) = area(a∩b) + area(a−b).
+  EXPECT_EQ(a.Area(), i.Area() + s.Area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,252 @@
+#include "src/raster/surface.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+TEST(SurfaceTest, ConstructsFilled) {
+  Surface s(4, 3, MakePixel(1, 2, 3));
+  EXPECT_EQ(s.width(), 4);
+  EXPECT_EQ(s.height(), 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(s.At(x, y), MakePixel(1, 2, 3));
+    }
+  }
+}
+
+TEST(SurfaceTest, FillRectClips) {
+  Surface s(10, 10, kBlack);
+  s.FillRect(Rect{-5, -5, 10, 10}, kWhite);  // overlaps top-left quadrant
+  EXPECT_EQ(s.At(0, 0), kWhite);
+  EXPECT_EQ(s.At(4, 4), kWhite);
+  EXPECT_EQ(s.At(5, 5), kBlack);
+}
+
+TEST(SurfaceTest, FillRegionMultipleRects) {
+  Surface s(20, 20, kBlack);
+  Region region = Region(Rect{0, 0, 5, 5}).Union(Rect{10, 10, 5, 5});
+  s.FillRegion(region, kWhite);
+  EXPECT_EQ(s.At(2, 2), kWhite);
+  EXPECT_EQ(s.At(12, 12), kWhite);
+  EXPECT_EQ(s.At(7, 7), kBlack);
+}
+
+TEST(SurfaceTest, FillTiledAnchorsAtOrigin) {
+  Surface tile(2, 2);
+  tile.Put(0, 0, MakePixel(255, 0, 0));
+  tile.Put(1, 0, MakePixel(0, 255, 0));
+  tile.Put(0, 1, MakePixel(0, 0, 255));
+  tile.Put(1, 1, MakePixel(255, 255, 0));
+  Surface s(8, 8, kBlack);
+  s.FillTiled(Region(Rect{0, 0, 8, 8}), tile, Point{0, 0});
+  EXPECT_EQ(s.At(0, 0), MakePixel(255, 0, 0));
+  EXPECT_EQ(s.At(2, 0), MakePixel(255, 0, 0));  // repeats every 2
+  EXPECT_EQ(s.At(1, 1), MakePixel(255, 255, 0));
+  EXPECT_EQ(s.At(3, 3), MakePixel(255, 255, 0));
+}
+
+TEST(SurfaceTest, FillTiledNegativeOrigin) {
+  Surface tile(2, 1);
+  tile.Put(0, 0, MakePixel(10, 0, 0));
+  tile.Put(1, 0, MakePixel(20, 0, 0));
+  Surface s(4, 1, kBlack);
+  s.FillTiled(Region(Rect{0, 0, 4, 1}), tile, Point{-1, 0});
+  // Pixel 0 maps to tile x = (0 - -1) % 2 = 1.
+  EXPECT_EQ(s.At(0, 0), MakePixel(20, 0, 0));
+  EXPECT_EQ(s.At(1, 0), MakePixel(10, 0, 0));
+}
+
+TEST(SurfaceTest, FillStippledOpaque) {
+  Bitmap mask(2, 1);
+  mask.Set(0, 0, true);
+  Surface s(2, 1, MakePixel(9, 9, 9));
+  s.FillStippled(Region(Rect{0, 0, 2, 1}), mask, Point{0, 0}, kWhite, kBlack,
+                 /*transparent_bg=*/false);
+  EXPECT_EQ(s.At(0, 0), kWhite);
+  EXPECT_EQ(s.At(1, 0), kBlack);
+}
+
+TEST(SurfaceTest, FillStippledTransparentLeavesBackground) {
+  Bitmap mask(2, 1);
+  mask.Set(0, 0, true);
+  Surface s(2, 1, MakePixel(9, 9, 9));
+  s.FillStippled(Region(Rect{0, 0, 2, 1}), mask, Point{0, 0}, kWhite, kBlack,
+                 /*transparent_bg=*/true);
+  EXPECT_EQ(s.At(0, 0), kWhite);
+  EXPECT_EQ(s.At(1, 0), MakePixel(9, 9, 9));
+}
+
+TEST(SurfaceTest, CopyBetweenSurfaces) {
+  Surface src(4, 4, kWhite);
+  src.FillRect(Rect{0, 0, 2, 2}, kBlack);
+  Surface dst(4, 4, MakePixel(1, 1, 1));
+  dst.CopyFrom(src, Rect{0, 0, 2, 2}, Point{2, 2});
+  EXPECT_EQ(dst.At(2, 2), kBlack);
+  EXPECT_EQ(dst.At(0, 0), MakePixel(1, 1, 1));
+}
+
+TEST(SurfaceTest, OverlappingSelfCopyDown) {
+  // Scroll-like overlapping copy must not smear.
+  Surface s(1, 6, kBlack);
+  for (int y = 0; y < 6; ++y) {
+    s.Put(0, y, MakePixel(static_cast<uint8_t>(y * 10), 0, 0));
+  }
+  s.CopyFrom(s, Rect{0, 0, 1, 4}, Point{0, 2});  // shift down by 2
+  EXPECT_EQ(s.At(0, 2), MakePixel(0, 0, 0));
+  EXPECT_EQ(s.At(0, 3), MakePixel(10, 0, 0));
+  EXPECT_EQ(s.At(0, 5), MakePixel(30, 0, 0));
+}
+
+TEST(SurfaceTest, OverlappingSelfCopyUp) {
+  Surface s(1, 6, kBlack);
+  for (int y = 0; y < 6; ++y) {
+    s.Put(0, y, MakePixel(static_cast<uint8_t>(y * 10), 0, 0));
+  }
+  s.CopyFrom(s, Rect{0, 2, 1, 4}, Point{0, 0});  // shift up by 2
+  EXPECT_EQ(s.At(0, 0), MakePixel(20, 0, 0));
+  EXPECT_EQ(s.At(0, 3), MakePixel(50, 0, 0));
+}
+
+TEST(SurfaceTest, OverlappingSelfCopyLeftRight) {
+  Surface s(6, 1, kBlack);
+  for (int x = 0; x < 6; ++x) {
+    s.Put(x, 0, MakePixel(static_cast<uint8_t>(x * 10), 0, 0));
+  }
+  Surface right = s;
+  right.CopyFrom(right, Rect{0, 0, 4, 1}, Point{2, 0});
+  EXPECT_EQ(right.At(2, 0), MakePixel(0, 0, 0));
+  EXPECT_EQ(right.At(5, 0), MakePixel(30, 0, 0));
+  Surface left = s;
+  left.CopyFrom(left, Rect{2, 0, 4, 1}, Point{0, 0});
+  EXPECT_EQ(left.At(0, 0), MakePixel(20, 0, 0));
+  EXPECT_EQ(left.At(3, 0), MakePixel(50, 0, 0));
+}
+
+TEST(SurfaceTest, CopyClipsSourceAndDest) {
+  Surface src(4, 4, kWhite);
+  Surface dst(4, 4, kBlack);
+  // Source rect partially outside source bounds; dest partially outside too.
+  dst.CopyFrom(src, Rect{2, 2, 4, 4}, Point{3, 3});
+  EXPECT_EQ(dst.At(3, 3), kWhite);
+  EXPECT_EQ(dst.At(2, 2), kBlack);
+}
+
+TEST(SurfaceTest, PutAndGetPixelsRoundTrip) {
+  Surface s(6, 6, kBlack);
+  std::vector<Pixel> data(9);
+  for (size_t i = 0; i < 9; ++i) {
+    data[i] = MakePixel(static_cast<uint8_t>(i * 20), 0, 0);
+  }
+  s.PutPixels(Rect{2, 2, 3, 3}, data);
+  std::vector<Pixel> back = s.GetPixels(Rect{2, 2, 3, 3});
+  EXPECT_EQ(back, data);
+}
+
+TEST(SurfaceTest, PutPixelsClipsAtEdges) {
+  Surface s(4, 4, kBlack);
+  std::vector<Pixel> data(4, kWhite);
+  s.PutPixels(Rect{3, 3, 2, 2}, data);  // only (3,3) inside
+  EXPECT_EQ(s.At(3, 3), kWhite);
+}
+
+TEST(SurfaceTest, CompositeOverBlends) {
+  Surface s(1, 1, MakePixel(0, 0, 0));
+  std::vector<Pixel> half = {MakePixel(255, 255, 255, 128)};
+  s.CompositeOver(Rect{0, 0, 1, 1}, half);
+  Pixel p = s.At(0, 0);
+  EXPECT_NEAR(PixelR(p), 128, 2);
+  EXPECT_NEAR(PixelG(p), 128, 2);
+}
+
+TEST(SurfaceTest, CompositeOpaqueReplaces) {
+  Surface s(1, 1, kBlack);
+  std::vector<Pixel> opaque = {MakePixel(10, 20, 30, 255)};
+  s.CompositeOver(Rect{0, 0, 1, 1}, opaque);
+  EXPECT_EQ(s.At(0, 0), MakePixel(10, 20, 30));
+}
+
+TEST(SurfaceTest, CompositeZeroAlphaLeavesDest) {
+  Surface s(1, 1, MakePixel(7, 7, 7));
+  std::vector<Pixel> clear = {MakePixel(200, 200, 200, 0)};
+  s.CompositeOver(Rect{0, 0, 1, 1}, clear);
+  EXPECT_EQ(s.At(0, 0), MakePixel(7, 7, 7));
+}
+
+TEST(SurfaceTest, EqualsCountsDiffs) {
+  Surface a(4, 4, kBlack);
+  Surface b(4, 4, kBlack);
+  b.Put(1, 1, kWhite);
+  b.Put(2, 2, kWhite);
+  int64_t diffs = 0;
+  EXPECT_FALSE(a.Equals(b, &diffs));
+  EXPECT_EQ(diffs, 2);
+  b.Put(1, 1, kBlack);
+  b.Put(2, 2, kBlack);
+  EXPECT_TRUE(a.Equals(b, &diffs));
+  EXPECT_EQ(diffs, 0);
+}
+
+TEST(SurfaceTest, ContentHashDetectsChange) {
+  Surface a(8, 8, kBlack);
+  uint64_t h1 = a.ContentHash();
+  a.Put(3, 3, kWhite);
+  EXPECT_NE(a.ContentHash(), h1);
+}
+
+TEST(SurfaceTest, SubSurfaceExtracts) {
+  Surface s(8, 8, kBlack);
+  s.FillRect(Rect{2, 2, 3, 3}, kWhite);
+  Surface sub = s.SubSurface(Rect{2, 2, 3, 3});
+  EXPECT_EQ(sub.width(), 3);
+  EXPECT_EQ(sub.At(0, 0), kWhite);
+}
+
+TEST(BitmapTest, SetGetBits) {
+  Bitmap b(10, 3);
+  b.Set(9, 2, true);
+  EXPECT_TRUE(b.Get(9, 2));
+  EXPECT_FALSE(b.Get(8, 2));
+  b.Set(9, 2, false);
+  EXPECT_FALSE(b.Get(9, 2));
+}
+
+TEST(BitmapTest, ByteSizeRowPadded) {
+  Bitmap b(10, 3);  // 2 bytes per row
+  EXPECT_EQ(b.byte_size(), 6u);
+}
+
+TEST(BitmapTest, SubBitmap) {
+  Bitmap b(8, 8);
+  b.Set(4, 4, true);
+  Bitmap sub = b.SubBitmap(Rect{3, 3, 3, 3});
+  EXPECT_TRUE(sub.Get(1, 1));
+  EXPECT_FALSE(sub.Get(0, 0));
+}
+
+TEST(PixelTest, PackUnpack) {
+  Pixel p = MakePixel(0x12, 0x34, 0x56, 0x78);
+  EXPECT_EQ(PixelR(p), 0x12);
+  EXPECT_EQ(PixelG(p), 0x34);
+  EXPECT_EQ(PixelB(p), 0x56);
+  EXPECT_EQ(PixelA(p), 0x78);
+}
+
+TEST(PixelTest, Palette332RoundTripError) {
+  Prng rng(3);
+  for (int i = 0; i < 256; ++i) {
+    Pixel p = MakePixel(static_cast<uint8_t>(rng.Next()),
+                        static_cast<uint8_t>(rng.Next()),
+                        static_cast<uint8_t>(rng.Next()));
+    Pixel q = ExpandFrom332(QuantizeTo332(p));
+    EXPECT_LE(std::abs(PixelR(p) - PixelR(q)), 36);
+    EXPECT_LE(std::abs(PixelG(p) - PixelG(q)), 36);
+    EXPECT_LE(std::abs(PixelB(p) - PixelB(q)), 84);
+  }
+}
+
+}  // namespace
+}  // namespace thinc

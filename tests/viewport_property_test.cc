@@ -1,0 +1,132 @@
+// Property sweep for server-side display resizing (Section 6): under random
+// operation streams, a viewport client's framebuffer must stay a close
+// approximation of the Fant-resampled reference screen. Pixel-exactness is
+// impossible (coordinate rounding at scaled rect seams), so the invariant is
+// a bounded mean channel error plus exactness away from edges for flat
+// content.
+#include <gtest/gtest.h>
+
+#include "src/baselines/thinc_system.h"
+#include "src/raster/fant.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+constexpr int32_t kW = 192;
+constexpr int32_t kH = 144;
+constexpr int32_t kVw = 64;
+constexpr int32_t kVh = 48;
+
+double MeanChannelError(const Surface& a, const Surface& b) {
+  int64_t total = 0;
+  for (int32_t y = 0; y < a.height(); ++y) {
+    for (int32_t x = 0; x < a.width(); ++x) {
+      Pixel pa = a.At(x, y);
+      Pixel pb = b.At(x, y);
+      total += std::abs(PixelR(pa) - PixelR(pb)) + std::abs(PixelG(pa) - PixelG(pb)) +
+               std::abs(PixelB(pa) - PixelB(pb));
+    }
+  }
+  return static_cast<double>(total) /
+         (static_cast<double>(a.width()) * a.height() * 3);
+}
+
+class ViewportPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewportPropertyTest, ScaledClientTracksFantReference) {
+  EventLoop loop;
+  ThincSystem sys(&loop, Pda80211gLink(), kW, kH);
+  sys.SetViewport(kVw, kVh);
+  loop.Run();
+
+  WindowServer* ws = sys.window_server();
+  Prng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    Rect r{static_cast<int32_t>(rng.NextBelow(kW - 24)),
+           static_cast<int32_t>(rng.NextBelow(kH - 20)),
+           static_cast<int32_t>(rng.NextInRange(4, 40)),
+           static_cast<int32_t>(rng.NextInRange(4, 32))};
+    Pixel color = static_cast<Pixel>(rng.Next()) | 0xFF000000;
+    switch (rng.NextBelow(5)) {
+      case 0:
+      case 1:
+        ws->FillRect(kScreenDrawable, r, color);
+        break;
+      case 2:
+        ws->DrawText(kScreenDrawable, r.origin(), "SCALED TEXT", color);
+        break;
+      case 3: {
+        std::vector<Pixel> image(static_cast<size_t>(r.area()));
+        Prng content(rng.Next());
+        for (Pixel& p : image) {
+          p = static_cast<Pixel>(content.Next()) | 0xFF000000;
+        }
+        ws->PutImage(kScreenDrawable, r, image);
+        break;
+      }
+      default:
+        ws->CopyArea(kScreenDrawable, kScreenDrawable, r,
+                     Point{static_cast<int32_t>(rng.NextBelow(kW / 2)),
+                           static_cast<int32_t>(rng.NextBelow(kH / 2))});
+        break;
+    }
+  }
+  loop.Run();
+
+  const Surface& client = *sys.ClientFramebuffer();
+  ASSERT_EQ(client.width(), kVw);
+  ASSERT_EQ(client.height(), kVh);
+  Surface reference = FantResample(ws->screen(), kVw, kVh);
+  double err = MeanChannelError(client, reference);
+  EXPECT_LT(err, 14.0) << "mean channel error too high for seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewportPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ViewportTest, ZoomInShowsMagnifiedPlaceholderImmediately) {
+  // Section 6: on zoom-in the client magnifies what it has while the
+  // server's real content is in flight.
+  EventLoop loop;
+  // High-RTT link so the refresh takes a while to arrive.
+  ThincSystem sys(&loop, WanDesktopLink(), kW, kH);
+  sys.SetViewport(kVw, kVh);
+  loop.Run();
+  sys.window_server()->FillRect(kScreenDrawable, Rect{0, 0, kW, kH},
+                                MakePixel(200, 40, 40));
+  loop.Run();
+  ASSERT_GT(PixelR(sys.ClientFramebuffer()->At(10, 10)), 150);
+  // Zoom back to full size; check the placeholder BEFORE the refresh lands.
+  sys.client()->RequestViewport(kW, kH);
+  loop.RunUntil(loop.now() + 10 * kMillisecond);  // < RTT: refresh not here yet
+  EXPECT_GT(PixelR(sys.ClientFramebuffer()->At(50, 50)), 150)
+      << "placeholder should magnify the old content, not blank";
+  loop.Run();  // and the real refresh still converges
+  int64_t diff = 0;
+  EXPECT_TRUE(
+      sys.window_server()->screen().Equals(*sys.ClientFramebuffer(), &diff))
+      << diff;
+}
+
+TEST(ViewportTest, GrowingViewportTriggersRefresh) {
+  EventLoop loop;
+  ThincSystem sys(&loop, LanDesktopLink(), kW, kH);
+  sys.SetViewport(kVw, kVh);
+  loop.Run();
+  sys.window_server()->FillRect(kScreenDrawable, Rect{0, 0, kW, kH},
+                                MakePixel(40, 80, 120));
+  sys.window_server()->DrawText(kScreenDrawable, Point{10, 10}, "ZOOM", kWhite);
+  loop.Run();
+  // Zoom back to full size: the client needs real content, not a magnified
+  // thumbnail — the server answers with a full refresh.
+  sys.SetViewport(kW, kH);
+  loop.Run();
+  int64_t diff = 0;
+  EXPECT_TRUE(
+      sys.window_server()->screen().Equals(*sys.ClientFramebuffer(), &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace thinc

@@ -1,0 +1,261 @@
+#include "src/display/window_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/raster/font.h"
+
+namespace thinc {
+namespace {
+
+// Driver that records every hook invocation.
+class RecordingDriver : public DisplayDriver {
+ public:
+  struct Call {
+    std::string op;
+    DrawableId dst = 0;
+    Region region;
+  };
+
+  void OnFillSolid(DrawableId dst, const Region& region, Pixel) override {
+    calls.push_back(Call{"solid", dst, region});
+  }
+  void OnFillTiled(DrawableId dst, const Region& region, const Surface&,
+                   Point) override {
+    calls.push_back(Call{"tiled", dst, region});
+  }
+  void OnFillStippled(DrawableId dst, const Region& region, const Bitmap&, Point,
+                      Pixel, Pixel, bool) override {
+    calls.push_back(Call{"stipple", dst, region});
+  }
+  void OnCopy(DrawableId src, DrawableId dst, const Rect& src_rect,
+              Point dst_origin) override {
+    calls.push_back(Call{"copy", dst,
+                         Region(Rect{dst_origin.x, dst_origin.y, src_rect.width,
+                                     src_rect.height})});
+  }
+  void OnPutImage(DrawableId dst, const Rect& rect,
+                  std::span<const Pixel>) override {
+    calls.push_back(Call{"image", dst, Region(rect)});
+  }
+  void OnComposite(DrawableId dst, const Rect& rect,
+                   std::span<const Pixel>) override {
+    calls.push_back(Call{"composite", dst, Region(rect)});
+  }
+  void OnCreatePixmap(DrawableId id, int32_t, int32_t) override {
+    calls.push_back(Call{"create", id, Region()});
+  }
+  void OnDestroyPixmap(DrawableId id) override {
+    calls.push_back(Call{"destroy", id, Region()});
+  }
+  void OnInputEvent(Point) override { ++input_events; }
+
+  std::vector<Call> calls;
+  int input_events = 0;
+};
+
+class VideoCapableDriver : public RecordingDriver {
+ public:
+  bool SupportsVideo() const override { return true; }
+  int32_t OnVideoStreamCreate(int32_t, int32_t, const Rect&) override {
+    return ++streams_created;
+  }
+  void OnVideoFrame(int32_t, const Yv12Frame&) override { ++frames; }
+  void OnVideoStreamDestroy(int32_t) override { ++streams_destroyed; }
+
+  int32_t streams_created = 0;
+  int frames = 0;
+  int streams_destroyed = 0;
+};
+
+class WindowServerTest : public ::testing::Test {
+ protected:
+  WindowServerTest() : cpu_(&loop_, 1.0), ws_(100, 80, &driver_, &cpu_) {}
+
+  EventLoop loop_;
+  RecordingDriver driver_;
+  CpuAccount cpu_;
+  WindowServer ws_;
+};
+
+TEST_F(WindowServerTest, ScreenExistsAtConstruction) {
+  EXPECT_EQ(ws_.screen().width(), 100);
+  EXPECT_EQ(ws_.screen().height(), 80);
+  EXPECT_EQ(ws_.screen_width(), 100);
+  EXPECT_EQ(ws_.pixmap_count(), 0u);
+}
+
+TEST_F(WindowServerTest, FillRendersAndNotifiesDriver) {
+  ws_.FillRect(kScreenDrawable, Rect{10, 10, 20, 20}, kWhite);
+  EXPECT_EQ(ws_.screen().At(15, 15), kWhite);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "solid");
+  EXPECT_EQ(driver_.calls[0].region.Bounds(), (Rect{10, 10, 20, 20}));
+}
+
+TEST_F(WindowServerTest, FillClippedToDrawableBounds) {
+  ws_.FillRect(kScreenDrawable, Rect{90, 70, 50, 50}, kWhite);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].region.Bounds(), (Rect{90, 70, 10, 10}));
+}
+
+TEST_F(WindowServerTest, FullyClippedOpIsDropped) {
+  ws_.FillRect(kScreenDrawable, Rect{200, 200, 10, 10}, kWhite);
+  EXPECT_TRUE(driver_.calls.empty());
+}
+
+TEST_F(WindowServerTest, PixmapLifecycle) {
+  DrawableId p = ws_.CreatePixmap(30, 30);
+  EXPECT_NE(p, kScreenDrawable);
+  EXPECT_EQ(ws_.pixmap_count(), 1u);
+  ws_.FillRect(p, Rect{0, 0, 30, 30}, kWhite);
+  EXPECT_EQ(ws_.SurfaceOf(p).At(5, 5), kWhite);
+  ws_.FreePixmap(p);
+  EXPECT_EQ(ws_.pixmap_count(), 0u);
+}
+
+TEST_F(WindowServerTest, CopyAreaBetweenDrawables) {
+  DrawableId p = ws_.CreatePixmap(20, 20);
+  ws_.FillRect(p, Rect{0, 0, 20, 20}, MakePixel(1, 2, 3));
+  driver_.calls.clear();
+  ws_.CopyArea(p, kScreenDrawable, Rect{0, 0, 20, 20}, Point{40, 40});
+  EXPECT_EQ(ws_.screen().At(45, 45), MakePixel(1, 2, 3));
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "copy");
+  EXPECT_EQ(driver_.calls[0].region.Bounds(), (Rect{40, 40, 20, 20}));
+}
+
+TEST_F(WindowServerTest, CopyAreaClipsAgainstBothDrawables) {
+  DrawableId p = ws_.CreatePixmap(10, 10);
+  ws_.FillRect(p, Rect{0, 0, 10, 10}, kWhite);
+  driver_.calls.clear();
+  // Source rect extends beyond the pixmap; destination lands partially
+  // offscreen.
+  ws_.CopyArea(p, kScreenDrawable, Rect{5, 5, 10, 10}, Point{95, 75});
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].region.Bounds(), (Rect{95, 75, 5, 5}));
+}
+
+TEST_F(WindowServerTest, DrawTextIssuesOneStipplePerRun) {
+  ws_.DrawText(kScreenDrawable, Point{5, 5}, "HELLO", kBlack);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "stipple");
+  // Text is actually rendered to the screen.
+  int dark = 0;
+  for (int y = 5; y < 5 + kGlyphHeight; ++y) {
+    for (int x = 5; x < 5 + 5 * kGlyphAdvance; ++x) {
+      if (ws_.screen().At(x, y) == kBlack) {
+        ++dark;
+      }
+    }
+  }
+  EXPECT_GT(dark, 20);
+}
+
+TEST_F(WindowServerTest, CompositeBlendsAndReportsBlendedPixels) {
+  ws_.FillRect(kScreenDrawable, Rect{0, 0, 100, 80}, kWhite);
+  driver_.calls.clear();
+  std::vector<Pixel> argb(100, MakePixel(0, 0, 0, 128));
+  ws_.CompositeOver(kScreenDrawable, Rect{0, 0, 10, 10}, argb);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "composite");
+  Pixel p = ws_.screen().At(5, 5);
+  EXPECT_NEAR(PixelR(p), 127, 3);
+}
+
+TEST_F(WindowServerTest, ScrollUpCopiesAndExposes) {
+  ws_.FillRect(kScreenDrawable, Rect{0, 0, 100, 40}, MakePixel(1, 1, 1));
+  ws_.FillRect(kScreenDrawable, Rect{0, 40, 100, 40}, MakePixel(2, 2, 2));
+  driver_.calls.clear();
+  ws_.ScrollUp(kScreenDrawable, Rect{0, 0, 100, 80}, 40, kWhite);
+  // Bottom half scrolled to the top; exposed strip filled white.
+  EXPECT_EQ(ws_.screen().At(50, 10), MakePixel(2, 2, 2));
+  EXPECT_EQ(ws_.screen().At(50, 60), kWhite);
+  ASSERT_EQ(driver_.calls.size(), 2u);
+  EXPECT_EQ(driver_.calls[0].op, "copy");
+  EXPECT_EQ(driver_.calls[1].op, "solid");
+}
+
+TEST_F(WindowServerTest, ScrollByFullHeightIsPlainFill) {
+  driver_.calls.clear();
+  ws_.ScrollUp(kScreenDrawable, Rect{0, 0, 100, 80}, 80, kWhite);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "solid");
+}
+
+TEST_F(WindowServerTest, RenderingChargesCpu) {
+  SimTime before = cpu_.total_busy();
+  ws_.FillRect(kScreenDrawable, Rect{0, 0, 100, 80}, kWhite);
+  EXPECT_GT(cpu_.total_busy(), before);
+}
+
+TEST_F(WindowServerTest, InputForwardedToDriver) {
+  ws_.InjectInput(Point{10, 10});
+  EXPECT_EQ(driver_.input_events, 1);
+}
+
+TEST_F(WindowServerTest, VideoFallbackWithoutDriverSupport) {
+  // RecordingDriver lacks video support: frames become OnPutImage calls at
+  // the display rect.
+  int32_t stream = ws_.VideoStreamCreate(8, 8, Rect{10, 10, 40, 30});
+  Yv12Frame frame = Yv12Frame::Allocate(8, 8);
+  driver_.calls.clear();
+  ws_.VideoFrame(stream, frame);
+  ASSERT_EQ(driver_.calls.size(), 1u);
+  EXPECT_EQ(driver_.calls[0].op, "image");
+  EXPECT_EQ(driver_.calls[0].region.Bounds(), (Rect{10, 10, 40, 30}));
+  ws_.VideoStreamDestroy(stream);
+}
+
+TEST(WindowServerVideoTest, HardwarePathBypassesPutImage) {
+  EventLoop loop;
+  VideoCapableDriver driver;
+  CpuAccount cpu(&loop, 1.0);
+  WindowServer ws(100, 80, &driver, &cpu);
+  int32_t stream = ws.VideoStreamCreate(8, 8, Rect{0, 0, 100, 80});
+  EXPECT_EQ(driver.streams_created, 1);
+  Yv12Frame frame = Yv12Frame::Allocate(8, 8);
+  for (uint8_t& b : frame.y) {
+    b = 200;
+  }
+  size_t calls_before = driver.calls.size();
+  ws.VideoFrame(stream, frame);
+  EXPECT_EQ(driver.frames, 1);
+  EXPECT_EQ(driver.calls.size(), calls_before);  // no 2D hook used
+  // Reference screen still reflects the frame (fidelity source of truth).
+  EXPECT_GT(PixelR(ws.screen().At(50, 40)), 150);
+  ws.VideoStreamDestroy(stream);
+  EXPECT_EQ(driver.streams_destroyed, 1);
+}
+
+TEST(WindowServerVideoTest, MoveUpdatesDestination) {
+  EventLoop loop;
+  VideoCapableDriver driver;
+  CpuAccount cpu(&loop, 1.0);
+  WindowServer ws(100, 80, &driver, &cpu);
+  int32_t stream = ws.VideoStreamCreate(8, 8, Rect{0, 0, 20, 20});
+  ws.VideoStreamMove(stream, Rect{50, 50, 20, 20});
+  Yv12Frame frame = Yv12Frame::Allocate(8, 8);
+  for (uint8_t& b : frame.y) {
+    b = 220;
+  }
+  ws.VideoFrame(stream, frame);
+  EXPECT_GT(PixelR(ws.screen().At(60, 60)), 150);
+  EXPECT_LT(PixelR(ws.screen().At(10, 10)), 50);
+}
+
+TEST(WindowServerNullDriverTest, WorksWithoutDriver) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  WindowServer ws(50, 50, /*driver=*/nullptr, &cpu);
+  ws.FillRect(kScreenDrawable, Rect{0, 0, 50, 50}, kWhite);
+  EXPECT_EQ(ws.screen().At(25, 25), kWhite);
+}
+
+TEST(WindowServerNullDriverTest, WorksWithoutCpuAccount) {
+  WindowServer ws(50, 50, /*driver=*/nullptr, /*cpu=*/nullptr);
+  ws.FillRect(kScreenDrawable, Rect{0, 0, 50, 50}, kWhite);
+  EXPECT_EQ(ws.RenderDoneAt(), 0);
+}
+
+}  // namespace
+}  // namespace thinc
