@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_offscreen.dir/bench_ablation_offscreen.cc.o"
+  "CMakeFiles/bench_ablation_offscreen.dir/bench_ablation_offscreen.cc.o.d"
+  "bench_ablation_offscreen"
+  "bench_ablation_offscreen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offscreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resize.dir/bench_ablation_resize.cc.o"
+  "CMakeFiles/bench_ablation_resize.dir/bench_ablation_resize.cc.o.d"
+  "bench_ablation_resize"
+  "bench_ablation_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_remote_web.dir/bench_fig4_remote_web.cc.o"
+  "CMakeFiles/bench_fig4_remote_web.dir/bench_fig4_remote_web.cc.o.d"
+  "bench_fig4_remote_web"
+  "bench_fig4_remote_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_remote_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_av_data.dir/bench_fig6_av_data.cc.o"
+  "CMakeFiles/bench_fig6_av_data.dir/bench_fig6_av_data.cc.o.d"
+  "bench_fig6_av_data"
+  "bench_fig6_av_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_av_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_remote_av.dir/bench_fig7_remote_av.cc.o"
+  "CMakeFiles/bench_fig7_remote_av.dir/bench_fig7_remote_av.cc.o.d"
+  "bench_fig7_remote_av"
+  "bench_fig7_remote_av.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_remote_av.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

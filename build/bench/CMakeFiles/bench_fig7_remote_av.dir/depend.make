@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_remote_av.
+# This may be replaced when dependencies are built.

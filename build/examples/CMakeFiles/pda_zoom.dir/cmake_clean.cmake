@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda_zoom.dir/pda_zoom.cpp.o"
+  "CMakeFiles/pda_zoom.dir/pda_zoom.cpp.o.d"
+  "pda_zoom"
+  "pda_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

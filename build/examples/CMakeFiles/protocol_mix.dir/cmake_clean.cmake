@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_mix.dir/protocol_mix.cpp.o"
+  "CMakeFiles/protocol_mix.dir/protocol_mix.cpp.o.d"
+  "protocol_mix"
+  "protocol_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_baselines.dir/local_pc.cc.o"
+  "CMakeFiles/thinc_baselines.dir/local_pc.cc.o.d"
+  "CMakeFiles/thinc_baselines.dir/rdp_system.cc.o"
+  "CMakeFiles/thinc_baselines.dir/rdp_system.cc.o.d"
+  "CMakeFiles/thinc_baselines.dir/scrape_system.cc.o"
+  "CMakeFiles/thinc_baselines.dir/scrape_system.cc.o.d"
+  "CMakeFiles/thinc_baselines.dir/sunray_system.cc.o"
+  "CMakeFiles/thinc_baselines.dir/sunray_system.cc.o.d"
+  "CMakeFiles/thinc_baselines.dir/thinc_system.cc.o"
+  "CMakeFiles/thinc_baselines.dir/thinc_system.cc.o.d"
+  "CMakeFiles/thinc_baselines.dir/x_system.cc.o"
+  "CMakeFiles/thinc_baselines.dir/x_system.cc.o.d"
+  "libthinc_baselines.a"
+  "libthinc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

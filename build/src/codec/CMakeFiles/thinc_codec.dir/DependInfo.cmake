@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/hextile.cc" "src/codec/CMakeFiles/thinc_codec.dir/hextile.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/hextile.cc.o.d"
+  "/root/repo/src/codec/lzss.cc" "src/codec/CMakeFiles/thinc_codec.dir/lzss.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/lzss.cc.o.d"
+  "/root/repo/src/codec/palette.cc" "src/codec/CMakeFiles/thinc_codec.dir/palette.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/palette.cc.o.d"
+  "/root/repo/src/codec/pnglike.cc" "src/codec/CMakeFiles/thinc_codec.dir/pnglike.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/pnglike.cc.o.d"
+  "/root/repo/src/codec/rc4.cc" "src/codec/CMakeFiles/thinc_codec.dir/rc4.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/rc4.cc.o.d"
+  "/root/repo/src/codec/rle.cc" "src/codec/CMakeFiles/thinc_codec.dir/rle.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/rle.cc.o.d"
+  "/root/repo/src/codec/rle32.cc" "src/codec/CMakeFiles/thinc_codec.dir/rle32.cc.o" "gcc" "src/codec/CMakeFiles/thinc_codec.dir/rle32.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thinc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/thinc_raster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

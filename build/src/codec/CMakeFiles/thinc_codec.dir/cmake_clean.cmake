@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_codec.dir/hextile.cc.o"
+  "CMakeFiles/thinc_codec.dir/hextile.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/lzss.cc.o"
+  "CMakeFiles/thinc_codec.dir/lzss.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/palette.cc.o"
+  "CMakeFiles/thinc_codec.dir/palette.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/pnglike.cc.o"
+  "CMakeFiles/thinc_codec.dir/pnglike.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/rc4.cc.o"
+  "CMakeFiles/thinc_codec.dir/rc4.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/rle.cc.o"
+  "CMakeFiles/thinc_codec.dir/rle.cc.o.d"
+  "CMakeFiles/thinc_codec.dir/rle32.cc.o"
+  "CMakeFiles/thinc_codec.dir/rle32.cc.o.d"
+  "libthinc_codec.a"
+  "libthinc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthinc_codec.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/command.cc" "src/core/CMakeFiles/thinc_core.dir/command.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/command.cc.o.d"
+  "/root/repo/src/core/command_queue.cc" "src/core/CMakeFiles/thinc_core.dir/command_queue.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/command_queue.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/thinc_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/session_share.cc" "src/core/CMakeFiles/thinc_core.dir/session_share.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/session_share.cc.o.d"
+  "/root/repo/src/core/thinc_client.cc" "src/core/CMakeFiles/thinc_core.dir/thinc_client.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/thinc_client.cc.o.d"
+  "/root/repo/src/core/thinc_server.cc" "src/core/CMakeFiles/thinc_core.dir/thinc_server.cc.o" "gcc" "src/core/CMakeFiles/thinc_core.dir/thinc_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thinc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/thinc_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/thinc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/thinc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/thinc_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/thinc_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_core.dir/command.cc.o"
+  "CMakeFiles/thinc_core.dir/command.cc.o.d"
+  "CMakeFiles/thinc_core.dir/command_queue.cc.o"
+  "CMakeFiles/thinc_core.dir/command_queue.cc.o.d"
+  "CMakeFiles/thinc_core.dir/scheduler.cc.o"
+  "CMakeFiles/thinc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/thinc_core.dir/session_share.cc.o"
+  "CMakeFiles/thinc_core.dir/session_share.cc.o.d"
+  "CMakeFiles/thinc_core.dir/thinc_client.cc.o"
+  "CMakeFiles/thinc_core.dir/thinc_client.cc.o.d"
+  "CMakeFiles/thinc_core.dir/thinc_server.cc.o"
+  "CMakeFiles/thinc_core.dir/thinc_server.cc.o.d"
+  "libthinc_core.a"
+  "libthinc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_display.dir/window_server.cc.o"
+  "CMakeFiles/thinc_display.dir/window_server.cc.o.d"
+  "libthinc_display.a"
+  "libthinc_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

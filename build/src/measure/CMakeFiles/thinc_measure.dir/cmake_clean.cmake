@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_measure.dir/experiment.cc.o"
+  "CMakeFiles/thinc_measure.dir/experiment.cc.o.d"
+  "libthinc_measure.a"
+  "libthinc_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_net.dir/connection.cc.o"
+  "CMakeFiles/thinc_net.dir/connection.cc.o.d"
+  "CMakeFiles/thinc_net.dir/link.cc.o"
+  "CMakeFiles/thinc_net.dir/link.cc.o.d"
+  "libthinc_net.a"
+  "libthinc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_protocol.dir/wire.cc.o"
+  "CMakeFiles/thinc_protocol.dir/wire.cc.o.d"
+  "libthinc_protocol.a"
+  "libthinc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

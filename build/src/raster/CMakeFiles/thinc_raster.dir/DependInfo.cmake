@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/fant.cc" "src/raster/CMakeFiles/thinc_raster.dir/fant.cc.o" "gcc" "src/raster/CMakeFiles/thinc_raster.dir/fant.cc.o.d"
+  "/root/repo/src/raster/font.cc" "src/raster/CMakeFiles/thinc_raster.dir/font.cc.o" "gcc" "src/raster/CMakeFiles/thinc_raster.dir/font.cc.o.d"
+  "/root/repo/src/raster/surface.cc" "src/raster/CMakeFiles/thinc_raster.dir/surface.cc.o" "gcc" "src/raster/CMakeFiles/thinc_raster.dir/surface.cc.o.d"
+  "/root/repo/src/raster/yuv.cc" "src/raster/CMakeFiles/thinc_raster.dir/yuv.cc.o" "gcc" "src/raster/CMakeFiles/thinc_raster.dir/yuv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thinc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

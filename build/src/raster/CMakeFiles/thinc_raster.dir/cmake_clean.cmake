@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_raster.dir/fant.cc.o"
+  "CMakeFiles/thinc_raster.dir/fant.cc.o.d"
+  "CMakeFiles/thinc_raster.dir/font.cc.o"
+  "CMakeFiles/thinc_raster.dir/font.cc.o.d"
+  "CMakeFiles/thinc_raster.dir/surface.cc.o"
+  "CMakeFiles/thinc_raster.dir/surface.cc.o.d"
+  "CMakeFiles/thinc_raster.dir/yuv.cc.o"
+  "CMakeFiles/thinc_raster.dir/yuv.cc.o.d"
+  "libthinc_raster.a"
+  "libthinc_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

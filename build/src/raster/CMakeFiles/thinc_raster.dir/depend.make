@@ -1,0 +1,2 @@
+# Empty dependencies file for thinc_raster.
+# This may be replaced when dependencies are built.

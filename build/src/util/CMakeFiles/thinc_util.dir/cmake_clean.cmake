@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_util.dir/event_loop.cc.o"
+  "CMakeFiles/thinc_util.dir/event_loop.cc.o.d"
+  "CMakeFiles/thinc_util.dir/region.cc.o"
+  "CMakeFiles/thinc_util.dir/region.cc.o.d"
+  "libthinc_util.a"
+  "libthinc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinc_workload.dir/video.cc.o"
+  "CMakeFiles/thinc_workload.dir/video.cc.o.d"
+  "CMakeFiles/thinc_workload.dir/web.cc.o"
+  "CMakeFiles/thinc_workload.dir/web.cc.o.d"
+  "libthinc_workload.a"
+  "libthinc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

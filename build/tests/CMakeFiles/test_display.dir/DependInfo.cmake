@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/window_server_test.cc" "tests/CMakeFiles/test_display.dir/window_server_test.cc.o" "gcc" "tests/CMakeFiles/test_display.dir/window_server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/thinc_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/thinc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/thinc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/thinc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/thinc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/thinc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/thinc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/thinc_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/thinc_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thinc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

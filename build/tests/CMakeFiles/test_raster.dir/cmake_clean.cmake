@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster.dir/fant_test.cc.o"
+  "CMakeFiles/test_raster.dir/fant_test.cc.o.d"
+  "CMakeFiles/test_raster.dir/font_test.cc.o"
+  "CMakeFiles/test_raster.dir/font_test.cc.o.d"
+  "CMakeFiles/test_raster.dir/surface_test.cc.o"
+  "CMakeFiles/test_raster.dir/surface_test.cc.o.d"
+  "CMakeFiles/test_raster.dir/yuv_test.cc.o"
+  "CMakeFiles/test_raster.dir/yuv_test.cc.o.d"
+  "test_raster"
+  "test_raster.pdb"
+  "test_raster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systems.dir/baselines_test.cc.o"
+  "CMakeFiles/test_systems.dir/baselines_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/client_robustness_test.cc.o"
+  "CMakeFiles/test_systems.dir/client_robustness_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/experiment_test.cc.o"
+  "CMakeFiles/test_systems.dir/experiment_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/fidelity_property_test.cc.o"
+  "CMakeFiles/test_systems.dir/fidelity_property_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/session_share_test.cc.o"
+  "CMakeFiles/test_systems.dir/session_share_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/thinc_system_test.cc.o"
+  "CMakeFiles/test_systems.dir/thinc_system_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/viewport_property_test.cc.o"
+  "CMakeFiles/test_systems.dir/viewport_property_test.cc.o.d"
+  "CMakeFiles/test_systems.dir/workload_test.cc.o"
+  "CMakeFiles/test_systems.dir/workload_test.cc.o.d"
+  "test_systems"
+  "test_systems.pdb"
+  "test_systems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

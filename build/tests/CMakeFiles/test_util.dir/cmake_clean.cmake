@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/cpu_test.cc.o"
+  "CMakeFiles/test_util.dir/cpu_test.cc.o.d"
+  "CMakeFiles/test_util.dir/event_loop_test.cc.o"
+  "CMakeFiles/test_util.dir/event_loop_test.cc.o.d"
+  "CMakeFiles/test_util.dir/geometry_test.cc.o"
+  "CMakeFiles/test_util.dir/geometry_test.cc.o.d"
+  "CMakeFiles/test_util.dir/prng_test.cc.o"
+  "CMakeFiles/test_util.dir/prng_test.cc.o.d"
+  "CMakeFiles/test_util.dir/region_test.cc.o"
+  "CMakeFiles/test_util.dir/region_test.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
