@@ -1,0 +1,49 @@
+// Robustness: mid-run connection reset, disconnected drawing under the
+// scheduler's graceful-degradation cap, then reconnect + full resync.
+// Reports per-phase delivery stats, recovery latency, and resync fidelity
+// for each network configuration.
+#include "bench/bench_common.h"
+#include "src/measure/outage.h"
+
+using namespace thinc;
+
+namespace {
+
+void RunConfig(const ExperimentConfig& config) {
+  OutageScenarioResult r = RunOutageScenario(config);
+  std::printf("%-6s %10.0f %10.1f %10.0f %10.0f %12.1f %14.1f %10.0f %10.0f %6lld %8s\n",
+              r.config.c_str(),
+              static_cast<double>(r.steady_bytes) / 1024.0,
+              static_cast<double>(r.outage_bytes) / 1024.0,
+              static_cast<double>(r.resync_bytes) / 1024.0,
+              r.outage_ms,
+              r.recovery_ms,
+              r.recovery_with_client_ms,
+              static_cast<double>(r.peak_buffered_bytes) / 1024.0,
+              static_cast<double>(2 * r.framebuffer_bytes) / 1024.0,
+              static_cast<long long>(r.overflow_coalesces),
+              r.resynced ? "yes" : "NO");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Robustness: Outage + Reconnect Resync",
+                     "(THINC session through a hard connection reset)");
+  std::printf("%-6s %10s %10s %10s %10s %12s %14s %10s %10s %6s %8s\n",
+              "config", "steady_KB", "outage_KB", "resync_KB", "outage_ms",
+              "recovery_ms", "rec+client_ms", "peak_buf_KB", "cap_KB",
+              "coalsc", "resync");
+  RunConfig(LanDesktopConfig());
+  RunConfig(WanDesktopConfig());
+  RunConfig(Pda80211gConfig());
+  std::printf(
+      "\nExpected shape: outage delivery is only the partially transferred\n"
+      "page (the reset drops the rest); the backlog stays under the 2x\n"
+      "framebuffer cap however long the outage lasts (coalesced into one\n"
+      "snapshot); resync costs about one full-screen update — far less on\n"
+      "the PDA, whose server-side resize shrinks the refresh; and the client\n"
+      "is pixel-identical to the server's screen after recovery.\n");
+  return 0;
+}

@@ -22,10 +22,24 @@ ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
                                           client_options);
   server_->SetInputHandler([this](Point p, int32_t button) {
     window_server_->InjectInput(p);
-    if (input_fn_) {
+    // Button 0 is a position-only event (e.g. the cursor sync a reconnecting
+    // client sends); only real clicks reach the application callback.
+    if (button > 0 && input_fn_) {
       input_fn_(p);
     }
   });
+}
+
+Connection* ThincSystem::Reconnect(const LinkParams& link) {
+  if (!conn_->closed()) {
+    // Reconnecting over a live connection implies abandoning it first.
+    conn_->Reset();
+  }
+  retired_conns_.push_back(std::move(conn_));
+  conn_ = std::make_unique<Connection>(loop_, link);
+  server_->Attach(conn_.get());
+  client_->Attach(conn_.get());
+  return conn_.get();
 }
 
 void ThincSystem::ClientClick(Point location) {

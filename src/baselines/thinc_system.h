@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/baselines/system.h"
 #include "src/core/thinc_client.h"
@@ -36,7 +37,12 @@ class ThincSystem : public RemoteDisplaySystem {
   }
 
   int64_t BytesToClient() const override {
-    return conn_->BytesDeliveredTo(Connection::kClient);
+    // Lifetime total across every connection the session has used.
+    int64_t total = conn_->BytesDeliveredTo(Connection::kClient);
+    for (const auto& c : retired_conns_) {
+      total += c->BytesDeliveredTo(Connection::kClient);
+    }
+    return total;
   }
   SimTime LastDeliveryToClient() const override {
     return conn_->LastDeliveryTo(Connection::kClient);
@@ -48,6 +54,16 @@ class ThincSystem : public RemoteDisplaySystem {
   int64_t AudioBytesDelivered() const override;
   const Surface* ClientFramebuffer() const override {
     return &client_->framebuffer();
+  }
+
+  // Replaces the (typically reset) connection with a fresh one over `link`
+  // and reattaches server and client to it. The old connection is retired,
+  // not destroyed: its in-loop events may still fire (harmlessly, thanks to
+  // stale-connection guards) and its traces stay readable for per-phase
+  // stats. Returns the new connection.
+  Connection* Reconnect(const LinkParams& link);
+  const std::vector<std::unique_ptr<Connection>>& retired_connections() const {
+    return retired_conns_;
   }
 
   // Direct access for tests and detailed benchmarks.
@@ -62,6 +78,9 @@ class ThincSystem : public RemoteDisplaySystem {
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
   std::unique_ptr<Connection> conn_;
+  // Dead connections outlive their replacement: scheduled loop events
+  // capture raw pointers into them, and robustness stats read their traces.
+  std::vector<std::unique_ptr<Connection>> retired_conns_;
   std::unique_ptr<ThincServer> server_;
   std::unique_ptr<WindowServer> window_server_;
   std::unique_ptr<ThincClient> client_;

@@ -112,6 +112,10 @@ int UpdateScheduler::PlannedBand(const Command& cmd, SimTime now) const {
       return -1;
     }
   }
+  return ClassBand(cmd);
+}
+
+int UpdateScheduler::ClassBand(const Command& cmd) const {
   switch (cmd.overlap()) {
     case OverlapClass::kTransparent: {
       int dep = DependencyBand(cmd);
@@ -157,9 +161,33 @@ void UpdateScheduler::AssignSeq(Command* cmd) {
 }
 
 void UpdateScheduler::Reinsert(std::unique_ptr<Command> cmd) {
-  int band = options_.fifo ? 0 : BandFor(cmd->EncodedSize());
-  bands_[band].push_front(std::move(cmd));
+  // Remainders go through the same class-aware placement as Insert: complete
+  // commands keep the band-0 invariant, transparent remainders stay behind
+  // their buffered dependencies, and only partial (RAW) remainders are
+  // re-banded purely by remaining size.
+  const int band = options_.fifo ? 0 : ClassBand(*cmd);
+  if (!options_.fifo && cmd->overlap() == OverlapClass::kTransparent &&
+      DependencyBand(*cmd) >= 0) {
+    // Its dependencies live in this band and must still flush first.
+    bands_[band].push_back(std::move(cmd));
+  } else {
+    // Front of the band: delivery of a split command's segments stays
+    // contiguous unless something strictly smaller arrives.
+    bands_[band].push_front(std::move(cmd));
+  }
   ++count_;
+}
+
+void UpdateScheduler::Clear() {
+  for (auto& band : bands_) {
+    band.clear();
+  }
+  realtime_.clear();
+  count_ = 0;
+  // A cleared buffer belongs to a new (or resynchronized) client session;
+  // the previous session's input hotspot must not preempt for it.
+  last_input_ = Point{-10000, -10000};
+  last_input_time_ = -1;
 }
 
 std::unique_ptr<Command> UpdateScheduler::PopNext() {

@@ -62,10 +62,17 @@ class UpdateScheduler {
   // depends on even when eviction changed the buffer since planning).
   void Insert(std::unique_ptr<Command> cmd, SimTime now, int min_band = -1);
 
-  // Reinserts the remainder of a split command by its remaining size; it
-  // goes to the *front* of its band so delivery of its segments stays
-  // contiguous unless something strictly smaller arrives.
+  // Reinserts the remainder of a split command using the same class-aware
+  // placement as Insert (complete commands stay pinned to band 0,
+  // transparent remainders stay behind their dependencies). Partial (RAW)
+  // remainders go to the *front* of their remaining-size band so delivery of
+  // a split command's segments stays contiguous unless something strictly
+  // smaller arrives.
   void Reinsert(std::unique_ptr<Command> cmd);
+
+  // Drops every buffered command and the real-time input hotspot (used when
+  // a dead connection's buffer is discarded before reconnect resync).
+  void Clear();
 
   // Pops the next command in flush order (real-time queue first, then bands
   // in increasing order). Null when empty.
@@ -93,6 +100,10 @@ class UpdateScheduler {
 
  private:
   bool IsRealtime(const Command& cmd, SimTime now) const;
+  // Placement by overlap class (band-0 invariant for kComplete, dependency
+  // banding for kTransparent, remaining size for kPartial). Shared by
+  // Insert/PlannedBand and Reinsert.
+  int ClassBand(const Command& cmd) const;
   // Stamps an arrival sequence number (no-op if already stamped).
   void AssignSeq(Command* cmd);
   // Index (band) of the largest command overlapping `cmd`'s dependencies,

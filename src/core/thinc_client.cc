@@ -23,11 +23,58 @@ ThincClient::ThincClient(EventLoop* loop, Connection* conn, CpuAccount* cpu,
     tx_cipher_.emplace(kTransportKey);
     rx_cipher_.emplace(kTransportKey);
   }
-  conn_->SetReceiver(Connection::kClient,
-                     [this](std::span<const uint8_t> data) { OnReceive(data); });
+  BindConnection();
   if (options_.client_pull) {
     RequestUpdate();
   }
+}
+
+void ThincClient::BindConnection() {
+  conn_->SetReceiver(Connection::kClient,
+                     [this](std::span<const uint8_t> data) { OnReceive(data); });
+  conn_->SetClosed(Connection::kClient, [this, c = conn_] {
+    if (c == conn_) {  // a retired connection's late notification is moot
+      connected_ = false;
+    }
+  });
+}
+
+void ThincClient::Attach(Connection* conn) {
+  conn_ = conn;
+  connected_ = true;
+  // Transport state died with the old connection: half-parsed frame bytes,
+  // cipher keystream position, the server's stream table (it re-announces).
+  parser_ = FrameParser();
+  if (options_.encrypt) {
+    tx_cipher_.emplace(kTransportKey);
+    rx_cipher_.emplace(kTransportKey);
+  }
+  streams_.clear();
+  pull_outstanding_ = false;
+  BindConnection();
+  // Session renegotiation, mirroring startup: report the display geometry —
+  // which triggers the server's single full-screen resync — and sync the
+  // cursor position (button 0: position only, no click).
+  WireWriter w;
+  w.I32(framebuffer_.width());
+  w.I32(framebuffer_.height());
+  SendFrame(BuildFrame(MsgType::kResizeViewport, w.Take()));
+  SendInput(last_pointer_, /*button=*/0);
+  if (options_.client_pull) {
+    RequestUpdate();
+  }
+}
+
+bool ThincClient::SendFrame(std::vector<uint8_t> frame) {
+  if (!connected_ || conn_->closed()) {
+    return false;  // dropped; resync after Attach() covers the intent
+  }
+  if (tx_cipher_.has_value()) {
+    tx_cipher_->Process(frame, frame);
+  }
+  size_t sent = conn_->Send(Connection::kClient, frame);
+  THINC_CHECK_MSG(sent == frame.size(), "control channel backed up");
+  return true;
 }
 
 void ThincClient::ChargeAndStamp(double cost_us) {
@@ -36,17 +83,13 @@ void ThincClient::ChargeAndStamp(double cost_us) {
 }
 
 void ThincClient::SendInput(Point location, int32_t button) {
+  last_pointer_ = location;  // renegotiated on reconnect
   WireWriter w;
   w.PointVal(location);
   w.I32(button);
   w.I64(loop_->now());
   std::vector<uint8_t> payload = w.Take();
-  std::vector<uint8_t> frame = BuildFrame(MsgType::kInput, payload);
-  if (tx_cipher_.has_value()) {
-    tx_cipher_->Process(frame, frame);
-  }
-  size_t sent = conn_->Send(Connection::kClient, frame);
-  THINC_CHECK_MSG(sent == frame.size(), "input channel backed up");
+  SendFrame(BuildFrame(MsgType::kInput, payload));
 }
 
 void ThincClient::RequestViewport(int32_t width, int32_t height) {
@@ -76,25 +119,16 @@ void ThincClient::RequestViewport(int32_t width, int32_t height) {
   w.I32(width);
   w.I32(height);
   std::vector<uint8_t> payload = w.Take();
-  std::vector<uint8_t> frame = BuildFrame(MsgType::kResizeViewport, payload);
-  if (tx_cipher_.has_value()) {
-    tx_cipher_->Process(frame, frame);
-  }
-  size_t sent = conn_->Send(Connection::kClient, frame);
-  THINC_CHECK(sent == frame.size());
+  SendFrame(BuildFrame(MsgType::kResizeViewport, payload));
 }
 
 void ThincClient::RequestUpdate() {
   if (pull_outstanding_) {
     return;
   }
-  pull_outstanding_ = true;
-  std::vector<uint8_t> frame = BuildFrame(MsgType::kUpdateRequest, {});
-  if (tx_cipher_.has_value()) {
-    tx_cipher_->Process(frame, frame);
+  if (SendFrame(BuildFrame(MsgType::kUpdateRequest, {}))) {
+    pull_outstanding_ = true;  // only armed if the request actually left
   }
-  size_t sent = conn_->Send(Connection::kClient, frame);
-  THINC_CHECK(sent == frame.size());
 }
 
 void ThincClient::MaybeRearmPull() {

@@ -61,6 +61,16 @@ class ThincClient {
   void RequestViewport(int32_t width, int32_t height);
   void RequestUpdate();  // client-pull mode
 
+  // --- Reconnect (fault tolerance) -------------------------------------------
+  // When the connection is hard-reset, the client drops transport state (a
+  // half-parsed frame, cipher position, stream table) but keeps its
+  // framebuffer: the last complete picture stays on screen until resync.
+  // Attach() rebinds to a fresh connection and renegotiates the session —
+  // viewport (which triggers the server's full-screen resync update) and
+  // cursor position; in pull mode it also re-arms the update request.
+  void Attach(Connection* conn);
+  bool connected() const { return connected_; }
+
   // --- Measurement -------------------------------------------------------------
   int64_t commands_applied() const { return commands_applied_; }
   int64_t frames_received() const { return frames_received_; }
@@ -91,6 +101,12 @@ class ThincClient {
   void HandleFrame(uint8_t type, std::span<const uint8_t> payload);
   void ChargeAndStamp(double cost_us);
   void MaybeRearmPull();
+  // Wires receive/closed callbacks to the current connection (with a stale-
+  // connection guard on the closed callback).
+  void BindConnection();
+  // Encrypts (if configured) and sends one wire frame; false when the
+  // connection is closed/gone and the frame was dropped.
+  bool SendFrame(std::vector<uint8_t> frame);
 
   EventLoop* loop_;
   Connection* conn_;
@@ -111,6 +127,10 @@ class ThincClient {
 
   bool pull_outstanding_ = false;
   bool pull_rearm_scheduled_ = false;
+
+  // Reconnect state.
+  bool connected_ = true;
+  Point last_pointer_{0, 0};  // re-sent on Attach() (cursor renegotiation)
 
   int64_t commands_applied_ = 0;
   int64_t frames_received_ = 0;

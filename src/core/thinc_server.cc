@@ -29,9 +29,101 @@ ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
     tx_cipher_.emplace(kTransportKey);
     rx_cipher_.emplace(kTransportKey);
   }
+  BindConnection();
+}
+
+void ThincServer::BindConnection() {
   conn_->SetReceiver(Connection::kServer,
                      [this](std::span<const uint8_t> data) { OnReceive(data); });
   conn_->SetWritable(Connection::kServer, [this] { ScheduleFlush(0); });
+  conn_->SetClosed(Connection::kServer, [this, c = conn_] {
+    if (c == conn_) {  // stale notifications from retired connections are moot
+      OnConnectionClosed();
+    }
+  });
+}
+
+void ThincServer::OnConnectionClosed() {
+  connected_ = false;
+  // Everything tied to the dead transport is dropped: a partially
+  // transmitted frame can never be completed on a new connection (the resync
+  // refresh covers its content), and buffered media is stale by the time a
+  // client returns. The virtual display state itself — framebuffer,
+  // offscreen queues, stream geometry, viewport — is parked untouched.
+  pending_.reset();
+  pending_prepared_ = false;
+  pending_frame_.clear();
+  pending_cursor_ = 0;
+  update_requested_ = false;
+  audio_queue_.clear();
+  video_queue_.clear();
+}
+
+void ThincServer::Attach(Connection* conn) {
+  conn_ = conn;
+  connected_ = true;
+  ++reconnects_;
+  // Fresh transport: new framing and (when encrypting) new cipher streams —
+  // the old keystream position died with the old connection.
+  parser_ = FrameParser();
+  if (options_.encrypt) {
+    tx_cipher_.emplace(kTransportKey);
+    rx_cipher_.emplace(kTransportKey);
+  }
+  pending_.reset();
+  pending_prepared_ = false;
+  pending_frame_.clear();
+  pending_cursor_ = 0;
+  update_requested_ = false;
+  audio_queue_.clear();
+  video_queue_.clear();
+  // The old client's buffer is meaningless to the new client; the resync
+  // refresh supersedes it.
+  scheduler_.Clear();
+  full_refresh_needed_ = false;
+  BindConnection();
+  ReannounceStreams();
+  // No refresh yet: the client's renegotiated viewport message triggers the
+  // single full-screen resync (sending one now too would double the resync
+  // bytes on high-RTT links).
+}
+
+void ThincServer::ReannounceStreams() {
+  for (const auto& [id, st] : streams_) {
+    WireWriter w;
+    w.I32(id);
+    w.I32(st.src_width);
+    w.I32(st.src_height);
+    Rect scaled_dst =
+        viewport_.has_value()
+            ? Region(st.dst).Scaled(viewport_->num, viewport_->den).Bounds()
+            : st.dst;
+    w.RectVal(scaled_dst);
+    std::vector<uint8_t> payload = w.Take();
+    audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoSetup, payload)});
+  }
+  if (!streams_.empty()) {
+    ScheduleFlush(0);
+  }
+}
+
+size_t ThincServer::FramebufferBytes() const {
+  const Surface& screen = window_server_->screen();
+  return static_cast<size_t>(screen.width()) * screen.height() * sizeof(Pixel);
+}
+
+void ThincServer::EnforceSchedulerCap() {
+  // Graceful degradation under outage or stall: the update buffer never
+  // grows past twice the framebuffer. Past that, the backlog is worth less
+  // than a snapshot of the current screen — collapse it and mark one
+  // full-screen refresh to be materialized at the next connected flush.
+  const size_t cap = 2 * FramebufferBytes();
+  if (scheduler_.TotalBytes() <= cap) {
+    return;
+  }
+  scheduler_.Clear();
+  full_refresh_needed_ = true;
+  ++overflow_coalesces_;
 }
 
 // --- Translation hooks -------------------------------------------------------
@@ -228,10 +320,18 @@ std::vector<std::unique_ptr<Command>> ThincServer::ResizeForViewport(
 }
 
 void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
+  if (full_refresh_needed_) {
+    // The backlog was coalesced: a pending full-screen snapshot will be read
+    // from the live framebuffer, which already (or will) contain this
+    // command's output. Buffering it would only regrow the queue.
+    ScheduleFlush(options_.flush_interval);
+    return;
+  }
   if (viewport_.has_value()) {
     for (auto& piece : ResizeForViewport(std::move(cmd))) {
       scheduler_.Insert(std::move(piece), loop_->now());
     }
+    EnforceSchedulerCap();
     ScheduleFlush(options_.flush_interval);
     return;
   }
@@ -262,6 +362,7 @@ void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
     }
     scheduler_.Insert(std::move(next), loop_->now(), planned);
   }
+  EnforceSchedulerCap();
   ScheduleFlush(options_.flush_interval);
 }
 
@@ -271,6 +372,9 @@ int32_t ThincServer::OnVideoStreamCreate(int32_t src_width, int32_t src_height,
                                          const Rect& dst) {
   int32_t id = next_stream_id_++;
   streams_[id] = VideoStreamState{src_width, src_height, dst};
+  if (!connected_) {
+    return id;  // geometry parked; re-announced on Attach()
+  }
   WireWriter w;
   w.I32(id);
   w.I32(src_width);
@@ -288,6 +392,11 @@ int32_t ThincServer::OnVideoStreamCreate(int32_t src_width, int32_t src_height,
 void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
   auto it = streams_.find(stream_id);
   THINC_CHECK(it != streams_.end());
+  if (!connected_) {
+    // Server-side drop, same policy as frames outdated before transmission.
+    ++video_frames_dropped_;
+    return;
+  }
   const Yv12Frame* to_send = &frame;
   Yv12Frame downscaled;
   if (viewport_.has_value()) {
@@ -338,6 +447,9 @@ void ThincServer::OnVideoStreamMove(int32_t stream_id, const Rect& dst) {
   auto it = streams_.find(stream_id);
   THINC_CHECK(it != streams_.end());
   it->second.dst = dst;
+  if (!connected_) {
+    return;  // Attach() re-announces the stream at its latest geometry
+  }
   WireWriter w;
   w.I32(stream_id);
   Rect scaled_dst = viewport_.has_value()
@@ -356,6 +468,9 @@ void ThincServer::OnVideoStreamDestroy(int32_t stream_id) {
                                       return m.is_video && m.stream_id == stream_id;
                                     }),
                      video_queue_.end());
+  if (!connected_) {
+    return;  // a reattached client never learns of the dead stream
+  }
   WireWriter w;
   w.I32(stream_id);
   std::vector<uint8_t> payload = w.Take();
@@ -375,6 +490,9 @@ void ThincServer::OnInputEvent(Point location) {
 // --- Audio -------------------------------------------------------------------
 
 void ThincServer::SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) {
+  if (!connected_) {
+    return;  // no listener; stale audio is worthless after reconnect
+  }
   WireWriter w;
   w.I64(timestamp);
   w.U32(static_cast<uint32_t>(pcm.size()));
@@ -415,6 +533,14 @@ size_t ThincServer::CommitBytes(const std::vector<uint8_t>& bytes, size_t* curso
 }
 
 void ThincServer::Flush() {
+  if (!connected_) {
+    return;  // parked; Attach() + the client's resync hello resume delivery
+  }
+  if (full_refresh_needed_) {
+    // Materialize the coalesced backlog as one snapshot of the live screen.
+    full_refresh_needed_ = false;
+    SendFullRefresh();
+  }
   if (!options_.server_push && !update_requested_) {
     return;
   }

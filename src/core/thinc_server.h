@@ -100,10 +100,34 @@ class ThincServer : public DisplayDriver {
   // client joins an existing session or enlarges its viewport).
   void SendFullRefresh();
 
+  // --- Reconnect (fault tolerance) -------------------------------------------
+  // The server survives a dead connection without blocking: the reset is
+  // detected through the connection's closed callback, the virtual display
+  // state (framebuffer, offscreen queues, stream geometry, viewport) is
+  // parked, and anything tied to the dead transport is dropped. While
+  // disconnected — or whenever a stalled link lets the client buffer grow
+  // past twice the framebuffer size — the backlog is coalesced into a
+  // single framebuffer snapshot (graceful degradation; the framebuffer is
+  // always current, so nothing is lost).
+  //
+  // Attach() rebinds the server to a fresh connection. Resynchronization is
+  // client-driven, mirroring session startup: live video streams are
+  // re-announced immediately, and the full-screen resync update is sent when
+  // the new client renegotiates its viewport (ThincClient::Attach does this
+  // automatically, together with a cursor position sync).
+  void Attach(Connection* conn);
+  bool connected() const { return connected_; }
+
   // Statistics.
   int64_t video_frames_sent() const { return video_frames_sent_; }
   int64_t video_frames_dropped() const { return video_frames_dropped_; }
   size_t buffered_commands() const { return scheduler_.count(); }
+  // Bytes currently buffered in the update scheduler (bounded by
+  // 2x framebuffer size through overflow coalescing).
+  size_t buffered_bytes() const { return scheduler_.TotalBytes(); }
+  int64_t reconnects() const { return reconnects_; }
+  // Times the scheduler backlog was collapsed into a framebuffer snapshot.
+  int64_t overflow_coalesces() const { return overflow_coalesces_; }
 
   const ThincServerOptions& options() const { return options_; }
 
@@ -133,6 +157,20 @@ class ThincServer : public DisplayDriver {
   // Inserts into the scheduler, applying viewport resize first.
   void InsertOutgoing(std::unique_ptr<Command> cmd);
   std::vector<std::unique_ptr<Command>> ResizeForViewport(std::unique_ptr<Command> cmd);
+
+  // Wires receive/writable/closed callbacks to the current connection. The
+  // closed callback captures the connection it was bound to and compares it
+  // against conn_ at fire time (pointer comparison only), so a late close
+  // notification from a retired connection cannot clobber a fresh session.
+  void BindConnection();
+  void OnConnectionClosed();
+  // Re-sends kVideoSetup for every live stream after Attach() so the fresh
+  // client can rebuild its stream table.
+  void ReannounceStreams();
+  // Graceful degradation: when the scheduler backlog exceeds twice the
+  // framebuffer size, collapse it into a single full-screen snapshot.
+  void EnforceSchedulerCap();
+  size_t FramebufferBytes() const;
 
   void ScheduleFlush(SimTime delay);
   void Flush();
@@ -171,6 +209,12 @@ class ThincServer : public DisplayDriver {
   std::optional<Rc4Cipher> rx_cipher_;
   FrameParser parser_;
   InputFn input_handler_;
+
+  // Reconnect state.
+  bool connected_ = true;
+  bool full_refresh_needed_ = false;  // backlog coalesced into a snapshot
+  int64_t reconnects_ = 0;
+  int64_t overflow_coalesces_ = 0;
 
   int64_t video_frames_sent_ = 0;
   int64_t video_frames_dropped_ = 0;

@@ -20,11 +20,17 @@ Connection::Connection(EventLoop* loop, const LinkParams& params,
 }
 
 size_t Connection::FreeSpace(int from) const {
+  if (closed_) {
+    return 0;
+  }
   const Direction& d = dirs_[from];
   return send_buffer_bytes_ - std::min(send_buffer_bytes_, d.send_buffer.size());
 }
 
 size_t Connection::Send(int from, std::span<const uint8_t> data) {
+  if (closed_) {
+    return 0;
+  }
   Direction& d = dirs_[from];
   size_t accepted = std::min(data.size(), FreeSpace(from));
   d.send_buffer.insert(d.send_buffer.end(), data.begin(), data.begin() + accepted);
@@ -43,6 +49,103 @@ void Connection::SetWritable(int endpoint, WritableFn fn) {
   dirs_[endpoint].writable = std::move(fn);
 }
 
+void Connection::SetClosed(int endpoint, ClosedFn fn) {
+  closed_fns_[endpoint] = std::move(fn);
+}
+
+void Connection::ScheduleFaults(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.events) {
+    loop_->ScheduleAt(e.at, [this, e] {
+      switch (e.kind) {
+        case FaultEvent::Kind::kDegrade:
+          SetLinkParams(e.bandwidth_bps, e.rtt);
+          break;
+        case FaultEvent::Kind::kOutageStart:
+          BeginOutage();
+          break;
+        case FaultEvent::Kind::kOutageEnd:
+          EndOutage();
+          break;
+        case FaultEvent::Kind::kReset:
+          Reset();
+          break;
+      }
+    });
+  }
+}
+
+void Connection::SetLinkParams(int64_t bandwidth_bps, SimTime rtt) {
+  if (bandwidth_bps > 0) {
+    params_.bandwidth_bps = bandwidth_bps;
+  }
+  if (rtt >= 0) {
+    params_.rtt = rtt;
+  }
+}
+
+void Connection::BeginOutage() {
+  if (closed_ || outage_) {
+    return;
+  }
+  outage_ = true;
+}
+
+void Connection::EndOutage() {
+  if (closed_ || !outage_) {
+    return;
+  }
+  outage_ = false;
+  // Replay frozen deliveries/acks in their original firing order; each goes
+  // back through RunOrFreeze so a second outage (or a reset) starting before
+  // the replay fires is still honored.
+  std::vector<std::function<void()>> frozen = std::move(frozen_);
+  frozen_.clear();
+  const uint64_t epoch = epoch_;
+  for (auto& fn : frozen) {
+    loop_->Schedule(0, [this, epoch, fn = std::move(fn)] {
+      RunOrFreeze(epoch, fn);
+    });
+  }
+  // Pumps that stalled against the frozen wire did not reschedule themselves.
+  for (int from = 0; from < 2; ++from) {
+    if (!dirs_[from].send_buffer.empty() && !dirs_[from].pump_scheduled) {
+      SchedulePump(from, loop_->now());
+    }
+  }
+}
+
+void Connection::Reset() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  ++epoch_;
+  frozen_.clear();
+  for (Direction& d : dirs_) {
+    d.send_buffer.clear();
+    d.inflight.clear();
+    d.inflight_bytes = 0;
+  }
+  // Notify both endpoints from fresh events so no callback runs inside
+  // whatever pump or delivery handler triggered the reset.
+  for (int endpoint = 0; endpoint < 2; ++endpoint) {
+    if (closed_fns_[endpoint]) {
+      loop_->Schedule(0, [fn = closed_fns_[endpoint]] { fn(); });
+    }
+  }
+}
+
+void Connection::RunOrFreeze(uint64_t epoch, std::function<void()> fn) {
+  if (closed_ || epoch != epoch_) {
+    return;  // the bytes died with the connection
+  }
+  if (outage_) {
+    frozen_.push_back(std::move(fn));
+    return;
+  }
+  fn();
+}
+
 const std::vector<TraceRecord>& Connection::TraceTo(int endpoint) const {
   return dirs_[1 - endpoint].trace;
 }
@@ -55,7 +158,14 @@ SimTime Connection::LastDeliveryTo(int endpoint) const {
   return dirs_[1 - endpoint].last_delivery;
 }
 
+int64_t Connection::PhaseBytesDeliveredTo(int endpoint) const {
+  return dirs_[1 - endpoint].phase_delivered_bytes;
+}
+
 bool Connection::Idle() const {
+  if (closed_) {
+    return true;  // nothing will ever move again
+  }
   for (const Direction& d : dirs_) {
     if (!d.send_buffer.empty() || d.inflight_bytes > 0) {
       return false;
@@ -67,6 +177,8 @@ bool Connection::Idle() const {
 void Connection::ResetTraces() {
   for (Direction& d : dirs_) {
     d.trace.clear();
+    d.phase_delivered_bytes = 0;
+    d.last_delivery = 0;
   }
 }
 
@@ -80,15 +192,28 @@ void Connection::SchedulePump(int from, SimTime when) {
 }
 
 void Connection::Pump(int from) {
+  if (closed_) {
+    return;
+  }
   Direction& d = dirs_[from];
   const SimTime now = loop_->now();
   bool freed_space = false;
 
+  // A sub-MSS TCP window serializes smaller segments instead of borrowing a
+  // full MSS beyond the window, so window/RTT throughput holds below kMss.
+  const int64_t window = params_.tcp_window_bytes;
+  const int64_t max_seg = std::min<int64_t>(kMss, window);
+
   while (!d.send_buffer.empty()) {
-    // Window check: pause until the oldest in-flight segment is acked.
-    if (d.inflight_bytes + kMss > params_.tcp_window_bytes &&
-        d.inflight_bytes > 0) {
-      SchedulePump(from, d.inflight.front().first);
+    if (outage_) {
+      break;  // wire frozen; EndOutage re-pumps
+    }
+    // Window check: pause until the oldest in-flight segment is acked. With
+    // rtt == 0 (or acks frozen by a past outage) the stored ack time may not
+    // be in the future; ScheduleAt clamps to now and the ack event, queued
+    // first, still fires before the rescheduled pump.
+    if (d.inflight_bytes + max_seg > window && d.inflight_bytes > 0) {
+      SchedulePump(from, std::max(now, d.inflight.front().first));
       break;
     }
     // Serialization occupies the wire sequentially; if the wire is still
@@ -98,7 +223,7 @@ void Connection::Pump(int from) {
       break;
     }
     int64_t seg_len =
-        std::min<int64_t>(kMss, static_cast<int64_t>(d.send_buffer.size()));
+        std::min<int64_t>(max_seg, static_cast<int64_t>(d.send_buffer.size()));
     SimTime tx_time =
         (seg_len * 8 * kSecond + params_.bandwidth_bps - 1) / params_.bandwidth_bps;
     SimTime depart = now + tx_time;
@@ -114,24 +239,31 @@ void Connection::Pump(int from) {
     d.inflight_bytes += seg_len;
     d.inflight.emplace_back(ack, seg_len);
 
-    loop_->ScheduleAt(arrival, [this, from, payload = std::move(payload)] {
-      Direction& dir = dirs_[from];
-      dir.delivered_bytes += static_cast<int64_t>(payload.size());
-      dir.last_delivery = loop_->now();
-      dir.trace.push_back(
-          TraceRecord{loop_->now(), static_cast<int64_t>(payload.size())});
-      if (dir.receive) {
-        dir.receive(payload);
-      }
+    const uint64_t epoch = epoch_;
+    loop_->ScheduleAt(arrival, [this, from, epoch, payload = std::move(payload)] {
+      RunOrFreeze(epoch, [this, from, payload] {
+        Direction& dir = dirs_[from];
+        dir.delivered_bytes += static_cast<int64_t>(payload.size());
+        dir.phase_delivered_bytes += static_cast<int64_t>(payload.size());
+        dir.last_delivery = loop_->now();
+        dir.trace.push_back(
+            TraceRecord{loop_->now(), static_cast<int64_t>(payload.size())});
+        if (dir.receive) {
+          dir.receive(payload);
+        }
+      });
     });
-    loop_->ScheduleAt(ack, [this, from, seg_len] {
-      Direction& dir = dirs_[from];
-      THINC_CHECK(!dir.inflight.empty());
-      dir.inflight_bytes -= dir.inflight.front().second;
-      dir.inflight.pop_front();
-      if (!dir.send_buffer.empty() && !dir.pump_scheduled) {
-        SchedulePump(from, loop_->now());
-      }
+    loop_->ScheduleAt(ack, [this, from, epoch, seg_len] {
+      RunOrFreeze(epoch, [this, from, seg_len] {
+        Direction& dir = dirs_[from];
+        THINC_CHECK(!dir.inflight.empty());
+        THINC_CHECK(dir.inflight.front().second == seg_len);
+        dir.inflight_bytes -= dir.inflight.front().second;
+        dir.inflight.pop_front();
+        if (!dir.send_buffer.empty() && !dir.pump_scheduled) {
+          SchedulePump(from, loop_->now());
+        }
+      });
     });
   }
 

@@ -15,6 +15,14 @@
 // Every delivered segment is timestamped in a per-direction trace, which is
 // what the slow-motion benchmarking harness (src/measure) reads — the
 // simulation equivalent of the paper's Ethereal packet monitor.
+//
+// Fault injection: a Connection can degrade (bandwidth/RTT changes), stall
+// (outage windows where nothing is serialized, delivered, or acked), or die
+// (a hard reset that drops every buffered and in-flight byte, closes the
+// connection permanently, and notifies both endpoints via SetClosed). Faults
+// may be applied directly or event-scheduled through a FaultPlan, which is
+// how the robustness benchmarks reproduce mid-run network failures
+// deterministically.
 #ifndef THINC_SRC_NET_CONNECTION_H_
 #define THINC_SRC_NET_CONNECTION_H_
 
@@ -43,11 +51,13 @@ class Connection {
 
   using ReceiveFn = std::function<void(std::span<const uint8_t>)>;
   using WritableFn = std::function<void()>;
+  using ClosedFn = std::function<void()>;
 
   Connection(EventLoop* loop, const LinkParams& params,
              size_t send_buffer_bytes = 256 << 10);
 
   // Queues up to FreeSpace(from) bytes; returns the number accepted.
+  // A closed connection accepts nothing.
   size_t Send(int from, std::span<const uint8_t> data);
   size_t FreeSpace(int from) const;
   // Total socket buffer capacity for one direction.
@@ -57,18 +67,49 @@ class Connection {
   void SetReceiver(int endpoint, ReceiveFn fn);
   // Invoked when the send buffer *from* `endpoint` gains free space.
   void SetWritable(int endpoint, WritableFn fn);
+  // Invoked (once, at `endpoint`) when the connection is hard-reset.
+  void SetClosed(int endpoint, ClosedFn fn);
 
   const LinkParams& params() const { return params_; }
   EventLoop* loop() const { return loop_; }
 
+  // --- Fault injection -------------------------------------------------------
+  // Schedules every event of `plan` on the loop (relative to absolute sim
+  // times in the plan). May be called once per plan; plans compose.
+  void ScheduleFaults(const FaultPlan& plan);
+  // Changes the link in place (<= 0 / < 0 keep the current value). Data
+  // already serialized keeps its original delivery schedule.
+  void SetLinkParams(int64_t bandwidth_bps, SimTime rtt);
+  // Outage window: the wire stalls in both directions — nothing serializes,
+  // deliveries and acks freeze — until EndOutage, when the frozen events
+  // replay in their original order.
+  void BeginOutage();
+  void EndOutage();
+  // Hard reset: drops all buffered and in-flight bytes in both directions,
+  // closes the connection permanently, and notifies both endpoints' closed
+  // callbacks (on a fresh loop event, so callers never reenter mid-pump).
+  void Reset();
+  bool closed() const { return closed_; }
+  bool in_outage() const { return outage_; }
+
   // Measurement interface (direction identified by receiving endpoint).
   const std::vector<TraceRecord>& TraceTo(int endpoint) const;
+  // Lifetime byte counter: survives ResetTraces().
   int64_t BytesDeliveredTo(int endpoint) const;
+  // Timestamp of the last delivery in the CURRENT measurement phase, i.e.
+  // since the last ResetTraces() (0 when nothing has been delivered this
+  // phase — a page/phase that transfers no data never inherits an older
+  // phase's timestamp).
   SimTime LastDeliveryTo(int endpoint) const;
-  // True when no data is buffered or in flight in either direction.
+  // Bytes delivered in the current measurement phase.
+  int64_t PhaseBytesDeliveredTo(int endpoint) const;
+  // True when no data is buffered or in flight in either direction (a
+  // closed connection is always idle: nothing will ever move again).
   bool Idle() const;
 
-  // Clears traces (between benchmark phases) without touching channel state.
+  // Starts a new measurement phase: clears traces and per-phase delivery
+  // bookkeeping (LastDeliveryTo / PhaseBytesDeliveredTo). Lifetime counters
+  // (BytesDeliveredTo) and channel state are untouched.
   void ResetTraces();
 
  private:
@@ -84,17 +125,29 @@ class Connection {
     ReceiveFn receive;
     WritableFn writable;
     std::vector<TraceRecord> trace;
-    int64_t delivered_bytes = 0;
-    SimTime last_delivery = 0;
+    int64_t delivered_bytes = 0;        // lifetime
+    int64_t phase_delivered_bytes = 0;  // since last ResetTraces()
+    SimTime last_delivery = 0;          // since last ResetTraces()
   };
 
   void Pump(int from);
   void SchedulePump(int from, SimTime when);
+  // Runs `fn` now, or defers it until the outage ends / drops it if the
+  // connection was reset since `epoch`.
+  void RunOrFreeze(uint64_t epoch, std::function<void()> fn);
 
   EventLoop* loop_;
   LinkParams params_;
   size_t send_buffer_bytes_;
   Direction dirs_[2];  // indexed by sending endpoint
+  ClosedFn closed_fns_[2];  // indexed by notified endpoint
+  bool closed_ = false;
+  bool outage_ = false;
+  // Bumped by Reset(); in-loop delivery/ack events from an older epoch are
+  // dropped (their bytes died with the connection).
+  uint64_t epoch_ = 0;
+  // Delivery/ack work frozen by an outage, in original firing order.
+  std::vector<std::function<void()>> frozen_;
 };
 
 // Chains two connections back to back, forwarding bytes both ways — the

@@ -14,6 +14,36 @@ double LinkParams::MaxThroughputBytesPerSec() const {
   return std::min(bw, window_rate);
 }
 
+FaultPlan& FaultPlan::Degrade(SimTime at, int64_t bandwidth_bps, SimTime rtt) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kDegrade;
+  e.bandwidth_bps = bandwidth_bps;
+  e.rtt = rtt;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Outage(SimTime start, SimTime duration) {
+  FaultEvent begin;
+  begin.at = start;
+  begin.kind = FaultEvent::Kind::kOutageStart;
+  events.push_back(begin);
+  FaultEvent end;
+  end.at = start + duration;
+  end.kind = FaultEvent::Kind::kOutageEnd;
+  events.push_back(end);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Reset(SimTime at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kReset;
+  events.push_back(e);
+  return *this;
+}
+
 LinkParams LanDesktopLink() {
   return LinkParams{100'000'000, 200, 1 << 20, "LAN"};
 }

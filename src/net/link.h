@@ -32,6 +32,39 @@ LinkParams LanDesktopLink();     // 100 Mbps, ~0.2 ms RTT
 LinkParams WanDesktopLink();     // 100 Mbps, 66 ms RTT (Internet2 cross-country)
 LinkParams Pda80211gLink();      // 24 Mbps idealized 802.11g, LAN latency
 
+// --- Fault injection ---------------------------------------------------------
+//
+// A FaultPlan is a deterministic, event-scheduled sequence of network faults
+// applied to a Connection (Connection::ScheduleFaults). It models the three
+// degradation modes a production remote-display deployment must survive:
+// fluctuating link quality (timed bandwidth/RTT changes), outage windows
+// (the wire stalls: nothing is serialized, delivered, or acked until the
+// window closes), and hard connection resets (buffered and in-flight bytes
+// are dropped and both endpoints are notified through their SetClosed
+// callbacks).
+struct FaultEvent {
+  enum class Kind {
+    kDegrade,      // change bandwidth and/or RTT in place
+    kOutageStart,  // freeze the wire in both directions
+    kOutageEnd,    // thaw the wire; deferred deliveries/acks resume in order
+    kReset,        // hard reset: drop all data, close, notify endpoints
+  };
+  SimTime at = 0;
+  Kind kind = Kind::kDegrade;
+  int64_t bandwidth_bps = 0;  // kDegrade: new bandwidth (<= 0 keeps current)
+  SimTime rtt = -1;           // kDegrade: new RTT (< 0 keeps current)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  // Builder helpers (chainable; events may be added in any order).
+  FaultPlan& Degrade(SimTime at, int64_t bandwidth_bps, SimTime rtt = -1);
+  FaultPlan& Outage(SimTime start, SimTime duration);
+  FaultPlan& Reset(SimTime at);
+  bool empty() const { return events.empty(); }
+};
+
 // A remote site from Table 2.
 struct RemoteSite {
   std::string name;      // e.g. "NY", "KR"

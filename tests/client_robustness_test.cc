@@ -145,5 +145,140 @@ TEST(ClientRobustnessTest, CorruptedCiphertextCannotCrashEncryptedClient) {
   SUCCEED();  // no crash; the session would be re-established in practice
 }
 
+// --- Connection reset + reconnect resync -------------------------------------
+
+Pixel PixelFor(int i) {
+  return MakePixel(static_cast<uint8_t>(i * 37 + 11), static_cast<uint8_t>(i * 73 + 5),
+                   static_cast<uint8_t>(i * 151 + 90));
+}
+
+int64_t MismatchedPixels(const Surface& a, const Surface& b) {
+  EXPECT_EQ(a.width(), b.width());
+  EXPECT_EQ(a.height(), b.height());
+  int64_t bad = 0;
+  for (int32_t y = 0; y < a.height(); ++y) {
+    for (int32_t x = 0; x < a.width(); ++x) {
+      if (a.At(x, y) != b.At(x, y)) {
+        ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+TEST(ReconnectTest, MidFrameResetParksServerWithoutCrashing) {
+  EventLoop loop;
+  ThincSystem sys(&loop, WanDesktopLink(), 128, 96);
+  for (int i = 0; i < 12; ++i) {
+    sys.window_server()->FillRect(kScreenDrawable,
+                                  Rect{(i % 4) * 32, (i / 4) * 32, 32, 32},
+                                  PixelFor(i));
+  }
+  // Let the updates reach the wire (WAN: first delivery ~33 ms out), then
+  // cut the connection with frames half-delivered.
+  loop.RunUntil(loop.now() + 36 * kMillisecond);
+  sys.connection()->Reset();
+  loop.Run();
+  EXPECT_TRUE(sys.connection()->closed());
+  EXPECT_FALSE(sys.server()->connected());
+  EXPECT_FALSE(sys.client()->connected());
+  // Neither endpoint crashes on further activity against the dead transport.
+  sys.ClientClick(Point{5, 5});  // dropped, not checked-failed
+  sys.window_server()->FillRect(kScreenDrawable, Rect{0, 0, 16, 16}, kWhite);
+  sys.SubmitAudio(std::vector<uint8_t>(64, 0x42), loop.now());
+  loop.Run();
+  EXPECT_FALSE(sys.connection()->in_outage());
+  EXPECT_TRUE(sys.connection()->Idle());
+}
+
+TEST(ReconnectTest, ResyncRestoresPixelIdenticalFramebuffer) {
+  EventLoop loop;
+  ThincSystem sys(&loop, WanDesktopLink(), 128, 96);
+  // Phase 1: patterned screen, partially delivered when the wire dies.
+  for (int i = 0; i < 12; ++i) {
+    sys.window_server()->FillRect(kScreenDrawable,
+                                  Rect{(i % 4) * 32, (i / 4) * 32, 32, 32},
+                                  PixelFor(i));
+  }
+  loop.RunUntil(loop.now() + 36 * kMillisecond);
+  sys.connection()->Reset();
+  loop.Run();
+  // Phase 2: the application keeps drawing while nobody is connected.
+  for (int i = 0; i < 6; ++i) {
+    sys.window_server()->FillRect(kScreenDrawable, Rect{i * 20, 30, 18, 40},
+                                  PixelFor(100 + i));
+  }
+  sys.window_server()->DrawText(kScreenDrawable, Point{8, 8}, "back soon", kWhite);
+  loop.RunUntil(loop.now() + 500 * kMillisecond);
+  // Phase 3: reconnect; the resync refresh must make the client
+  // pixel-identical to the server's live screen.
+  sys.Reconnect(WanDesktopLink());
+  loop.Run();
+  EXPECT_EQ(sys.server()->reconnects(), 1);
+  EXPECT_TRUE(sys.server()->connected());
+  EXPECT_TRUE(sys.client()->connected());
+  EXPECT_EQ(
+      MismatchedPixels(sys.client()->framebuffer(), sys.window_server()->screen()),
+      0);
+  // And the new session keeps working normally.
+  sys.window_server()->FillRect(kScreenDrawable, Rect{40, 40, 20, 20}, kBlack);
+  loop.Run();
+  EXPECT_EQ(
+      MismatchedPixels(sys.client()->framebuffer(), sys.window_server()->screen()),
+      0);
+}
+
+TEST(ReconnectTest, SchedulerStaysCappedDuringArbitrarilyLongOutage) {
+  EventLoop loop;
+  ThincSystem sys(&loop, LanDesktopLink(), 64, 64);
+  loop.Run();
+  sys.connection()->Reset();
+  loop.Run();
+  ASSERT_FALSE(sys.server()->connected());
+  const size_t cap = 2ul * 64 * 64 * sizeof(Pixel);
+  // An arbitrarily long outage: coat after coat of tiny RAW tiles. Each
+  // tile's frame overhead makes the backlog's encoded size far outgrow the
+  // framebuffer, so overwrite eviction alone cannot bound it — the 2x cap
+  // must kick in by coalescing the backlog into one snapshot.
+  std::vector<Pixel> tile(4, kWhite);
+  for (int coat = 0; coat < 4; ++coat) {
+    for (int32_t y = 0; y < 64; y += 2) {
+      for (int32_t x = 0; x < 64; x += 2) {
+        tile.assign(4, PixelFor(coat * 17 + x + y * 64));
+        sys.window_server()->PutImage(kScreenDrawable, Rect{x, y, 2, 2}, tile);
+        ASSERT_LE(sys.server()->buffered_bytes(), cap);
+      }
+    }
+    loop.RunUntil(loop.now() + kSecond);  // outage drags on
+  }
+  EXPECT_GE(sys.server()->overflow_coalesces(), 1);
+  // The coalesced snapshot still resynchronizes the client exactly.
+  sys.Reconnect(LanDesktopLink());
+  loop.Run();
+  EXPECT_EQ(
+      MismatchedPixels(sys.client()->framebuffer(), sys.window_server()->screen()),
+      0);
+}
+
+TEST(ReconnectTest, ReconnectRenegotiatesViewport) {
+  EventLoop loop;
+  ThincSystem sys(&loop, Pda80211gLink(), 128, 96);
+  sys.SetViewport(64, 48);
+  loop.Run();
+  sys.window_server()->FillRect(kScreenDrawable, Rect{0, 0, 128, 96}, PixelFor(3));
+  loop.Run();
+  const Surface before = sys.client()->framebuffer();
+  ASSERT_EQ(before.width(), 64);
+  sys.connection()->Reset();
+  loop.Run();
+  sys.Reconnect(Pda80211gLink());
+  loop.Run();
+  // The renegotiated session keeps the reduced geometry and converges to
+  // the same scaled view of the (unchanged) screen.
+  EXPECT_EQ(sys.client()->framebuffer().width(), 64);
+  EXPECT_EQ(sys.client()->framebuffer().height(), 48);
+  EXPECT_EQ(MismatchedPixels(sys.client()->framebuffer(), before), 0);
+}
+
 }  // namespace
 }  // namespace thinc

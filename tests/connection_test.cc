@@ -184,6 +184,126 @@ TEST(ConnectionTest, IdleReflectsInFlightData) {
   EXPECT_TRUE(conn.Idle());
 }
 
+TEST(ConnectionTest, SubMssWindowHoldsWindowOverRttThroughput) {
+  // A 512-byte window must serialize sub-MSS segments instead of borrowing
+  // a full MSS beyond the window: throughput ~= window/RTT even below kMss.
+  EventLoop loop;
+  LinkParams link{100'000'000, 10'000, 512, "tiny-window"};
+  Connection conn(&loop, link, /*send_buffer_bytes=*/1 << 20);
+  int64_t received = 0;
+  conn.SetReceiver(Connection::kClient,
+                   [&](std::span<const uint8_t> d) { received += d.size(); });
+  conn.Send(Connection::kServer, Payload(10'240));
+  loop.Run();
+  EXPECT_EQ(received, 10'240);
+  // 10240 B at 512 B per 10 ms RTT = ~200 ms (one RTT of slack allowed).
+  double secs =
+      static_cast<double>(conn.LastDeliveryTo(Connection::kClient)) / kSecond;
+  EXPECT_NEAR(secs, 0.2, 0.02);
+}
+
+TEST(ConnectionTest, ZeroRttDeliversEverything) {
+  EventLoop loop;
+  LinkParams link{100'000'000, 0, 2048, "zero-rtt"};
+  Connection conn(&loop, link, /*send_buffer_bytes=*/1 << 20);
+  std::vector<uint8_t> received;
+  conn.SetReceiver(Connection::kClient, [&](std::span<const uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  std::vector<uint8_t> msg = Payload(50'000);
+  conn.Send(Connection::kServer, msg);
+  loop.Run();  // must terminate (no infinite same-time pump loop)
+  EXPECT_EQ(received, msg);
+}
+
+TEST(ConnectionTest, FaultPlanDegradeChangesThroughput) {
+  EventLoop loop;
+  Connection conn(&loop, FastLink(), /*send_buffer_bytes=*/4 << 20);
+  conn.SetReceiver(Connection::kClient, [](std::span<const uint8_t>) {});
+  // Halfway through a 2 MB transfer, drop from 100 Mbps to 8 Mbps.
+  FaultPlan plan;
+  plan.Degrade(80 * kMillisecond, 8'000'000);
+  conn.ScheduleFaults(plan);
+  conn.Send(Connection::kServer, Payload(2 << 20));
+  loop.Run();
+  // ~1 MB fast (~84 ms) + ~1 MB at 1 MB/s (~1.05 s): far slower than the
+  // ~168 ms an undegraded link would take.
+  SimTime done = conn.LastDeliveryTo(Connection::kClient);
+  EXPECT_GT(done, 800 * kMillisecond);
+  EXPECT_LT(done, 1'500 * kMillisecond);
+}
+
+TEST(ConnectionTest, OutageFreezesDeliveryThenReplaysInOrder) {
+  EventLoop loop;
+  Connection conn(&loop, FastLink(), /*send_buffer_bytes=*/4 << 20);
+  std::vector<uint8_t> received;
+  std::vector<SimTime> arrivals;
+  conn.SetReceiver(Connection::kClient, [&](std::span<const uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+    arrivals.push_back(loop.now());
+  });
+  const SimTime start = 10 * kMillisecond;
+  const SimTime end = 60 * kMillisecond;
+  FaultPlan plan;
+  plan.Outage(start, end - start);
+  conn.ScheduleFaults(plan);
+  std::vector<uint8_t> msg = Payload(2 << 20);  // ~168 ms at 100 Mbps
+  conn.Send(Connection::kServer, msg);
+  loop.Run();
+  EXPECT_EQ(received, msg);  // intact and in order despite the stall
+  for (SimTime t : arrivals) {
+    EXPECT_TRUE(t < start || t >= end) << "delivery inside the outage at " << t;
+  }
+  // The stall pushes completion past the no-fault finish time.
+  EXPECT_GT(conn.LastDeliveryTo(Connection::kClient),
+            168 * kMillisecond + (end - start) / 2);
+}
+
+TEST(ConnectionTest, ResetDropsInFlightAndNotifiesBothEndpoints) {
+  EventLoop loop;
+  Connection conn(&loop, FastLink(), /*send_buffer_bytes=*/4 << 20);
+  int64_t received = 0;
+  conn.SetReceiver(Connection::kClient,
+                   [&](std::span<const uint8_t> d) { received += d.size(); });
+  int server_closed = 0, client_closed = 0;
+  conn.SetClosed(Connection::kServer, [&] { ++server_closed; });
+  conn.SetClosed(Connection::kClient, [&] { ++client_closed; });
+  FaultPlan plan;
+  plan.Reset(5 * kMillisecond);
+  conn.ScheduleFaults(plan);
+  conn.Send(Connection::kServer, Payload(2 << 20));  // ~168 ms: dies mid-way
+  loop.Run();
+  EXPECT_TRUE(conn.closed());
+  EXPECT_EQ(server_closed, 1);
+  EXPECT_EQ(client_closed, 1);
+  EXPECT_GT(received, 0);              // some bytes made it before the cut
+  EXPECT_LT(received, 2 << 20);        // the rest died with the connection
+  EXPECT_EQ(conn.Send(Connection::kServer, Payload(10)), 0u);  // dead for good
+  EXPECT_EQ(conn.FreeSpace(Connection::kServer), 0u);
+  EXPECT_TRUE(conn.Idle());
+}
+
+TEST(ConnectionTest, ResetTracesStartsNewDeliveryPhase) {
+  EventLoop loop;
+  Connection conn(&loop, FastLink());
+  conn.SetReceiver(Connection::kClient, [](std::span<const uint8_t>) {});
+  conn.Send(Connection::kServer, Payload(100));
+  loop.Run();
+  EXPECT_EQ(conn.PhaseBytesDeliveredTo(Connection::kClient), 100);
+  EXPECT_GT(conn.LastDeliveryTo(Connection::kClient), 0);
+
+  conn.ResetTraces();
+  // A phase that transfers nothing reports nothing — no stale timestamp.
+  EXPECT_EQ(conn.PhaseBytesDeliveredTo(Connection::kClient), 0);
+  EXPECT_EQ(conn.LastDeliveryTo(Connection::kClient), 0);
+  EXPECT_EQ(conn.BytesDeliveredTo(Connection::kClient), 100);  // lifetime
+
+  conn.Send(Connection::kServer, Payload(250));
+  loop.Run();
+  EXPECT_EQ(conn.PhaseBytesDeliveredTo(Connection::kClient), 250);
+  EXPECT_EQ(conn.BytesDeliveredTo(Connection::kClient), 350);
+}
+
 TEST(RelayTest, ForwardsBothDirections) {
   EventLoop loop;
   LinkParams leg{100'000'000, 35'000, 1 << 20, "leg"};

@@ -157,6 +157,51 @@ TEST(SchedulerTest, ReinsertGoesToBandFront) {
   EXPECT_EQ(sched.PopNext()->region().Bounds().x, 100);
 }
 
+TEST(SchedulerTest, ReinsertKeepsCompleteCommandsInBandZero) {
+  UpdateScheduler sched;
+  // A band-1 partial is already buffered.
+  sched.Insert(RawOfSize(Rect{200, 0, 6, 6}), 0);
+  // A many-rect SFILL whose encoding is well past band 0's 128-byte bound;
+  // re-banding it purely by size (the old Reinsert) would break the band-0
+  // invariant complete commands' reordering safety rests on.
+  Region big(Rect{0, 0, 4, 4});
+  for (int i = 1; i < 24; ++i) {
+    big = big.Union(Region(Rect{i * 10, 0, 4, 4}));
+  }
+  auto sfill = std::make_unique<SfillCommand>(big, kWhite);
+  ASSERT_GT(UpdateScheduler::BandFor(sfill->EncodedSize()), 0);
+  sched.Reinsert(std::move(sfill));
+  EXPECT_EQ(sched.PopNext()->type(), MsgType::kSfill);  // still band 0
+}
+
+TEST(SchedulerTest, ReinsertKeepsTransparentBehindDependencies) {
+  UpdateScheduler sched;
+  sched.Insert(Sfill(Rect{0, 0, 40, 40}), 0);  // the copy's base content
+  auto copy =
+      std::make_unique<CopyCommand>(Region(Rect{0, 0, 40, 40}), Point{5, 5});
+  sched.Reinsert(std::move(copy));
+  // A reinserted transparent command must flush after what it depends on —
+  // front-of-band placement would draw it before its base content arrives.
+  EXPECT_EQ(sched.PopNext()->type(), MsgType::kSfill);
+  EXPECT_EQ(sched.PopNext()->type(), MsgType::kCopy);
+}
+
+TEST(SchedulerTest, ClearEmptiesEverythingAndDropsInputHotspot) {
+  UpdateScheduler sched;
+  sched.NoteInput(Point{500, 500}, 0);
+  sched.Insert(Sfill(Rect{495, 495, 20, 20}), 0);  // realtime queue
+  sched.Insert(RawOfSize(Rect{0, 0, 50, 50}), 0);  // a band
+  sched.Clear();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.TotalBytes(), 0u);
+  EXPECT_EQ(sched.PopNext(), nullptr);
+  // The cleared buffer belongs to a new session: the old input hotspot must
+  // not preempt for it.
+  sched.Insert(Sfill(Rect{0, 0, 5, 5}), 0);
+  sched.Insert(Sfill(Rect{495, 495, 20, 20}), 0);
+  EXPECT_EQ(sched.PopNext()->region().Bounds().x, 0);  // plain FIFO order
+}
+
 TEST(SchedulerTest, TotalBytesAndCount) {
   UpdateScheduler sched;
   EXPECT_TRUE(sched.empty());
