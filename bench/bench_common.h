@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/measure/experiment.h"
+#include "src/util/buffer.h"
 
 namespace thinc {
 namespace bench {
@@ -53,6 +54,78 @@ inline void PrintHeader(const char* title, const char* columns) {
     std::putchar('=');
   }
   std::printf("\n%s\n", columns);
+}
+
+// --- Buffer-traffic instrumentation -----------------------------------------
+//
+// Benches that want to attribute cost to data movement snapshot the global
+// BufferStats counters around a workload and report the deltas (the
+// simulation is single-threaded, so a snapshot pair brackets exactly the
+// bracketed work).
+
+inline BufferStats SnapshotBufferStats() { return BufferStats::Get(); }
+
+// Counter deltas of `end` relative to `start` (peak/live are taken from
+// `end` as-is: they are levels, not counters).
+inline BufferStats BufferStatsDelta(const BufferStats& start,
+                                    const BufferStats& end) {
+  BufferStats d = end;
+  d.allocations -= start.allocations;
+  d.allocated_bytes -= start.allocated_bytes;
+  d.copies -= start.copies;
+  d.copied_bytes -= start.copied_bytes;
+  d.shares -= start.shares;
+  d.cow_detaches -= start.cow_detaches;
+  d.arena_reuses -= start.arena_reuses;
+  d.raw_encodes -= start.raw_encodes;
+  d.encode_charges -= start.encode_charges;
+  d.payload_encode_hits -= start.payload_encode_hits;
+  d.frame_cache_hits -= start.frame_cache_hits;
+  return d;
+}
+
+inline void PrintBufferStats(const char* label, const BufferStats& s) {
+  std::printf(
+      "%-12s allocs=%-8lld alloc_MB=%-7.1f memcpys=%-8lld copied_MB=%-7.1f\n"
+      "%-12s shares=%-8lld cow=%-5lld arena_reuse=%-5lld encodes=%-6lld "
+      "enc_hits=%lld peak_MB=%.1f\n",
+      label, static_cast<long long>(s.allocations),
+      static_cast<double>(s.allocated_bytes) / (1024.0 * 1024.0),
+      static_cast<long long>(s.copies),
+      static_cast<double>(s.copied_bytes) / (1024.0 * 1024.0), "",
+      static_cast<long long>(s.shares), static_cast<long long>(s.cow_detaches),
+      static_cast<long long>(s.arena_reuses),
+      static_cast<long long>(s.raw_encodes),
+      static_cast<long long>(s.payload_encode_hits + s.frame_cache_hits),
+      static_cast<double>(s.peak_payload_bytes) / (1024.0 * 1024.0));
+}
+
+// One `"name": {...}` JSON object for a stats delta (no trailing newline).
+inline void WriteBufferStatsJson(std::FILE* f, const char* name,
+                                 const BufferStats& s, double commands_per_sec) {
+  std::fprintf(
+      f,
+      "  \"%s\": {\n"
+      "    \"commands_per_sec\": %.0f,\n"
+      "    \"allocations\": %lld,\n"
+      "    \"allocated_bytes\": %lld,\n"
+      "    \"memcpy_calls\": %lld,\n"
+      "    \"memcpy_bytes\": %lld,\n"
+      "    \"shares\": %lld,\n"
+      "    \"cow_detaches\": %lld,\n"
+      "    \"arena_reuses\": %lld,\n"
+      "    \"raw_encodes\": %lld,\n"
+      "    \"encode_cache_hits\": %lld,\n"
+      "    \"peak_payload_bytes\": %lld\n"
+      "  }",
+      name, commands_per_sec, static_cast<long long>(s.allocations),
+      static_cast<long long>(s.allocated_bytes),
+      static_cast<long long>(s.copies), static_cast<long long>(s.copied_bytes),
+      static_cast<long long>(s.shares), static_cast<long long>(s.cow_detaches),
+      static_cast<long long>(s.arena_reuses),
+      static_cast<long long>(s.raw_encodes),
+      static_cast<long long>(s.payload_encode_hits + s.frame_cache_hits),
+      static_cast<long long>(s.peak_payload_bytes));
 }
 
 }  // namespace bench

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 correctness plus a sanitizer pass over the
+# buffer/command/connection surface touched by the zero-copy data path.
+#
+#   1. Configure+build the `default` preset and run the full test suite
+#      (the tier-1 bar: everything must pass).
+#   2. Configure+build the `sanitize` preset (ASan+UBSan, build-asan/) and
+#      run the buffer, command, command-queue, session-sharing, and
+#      connection tests under the sanitizers.
+#
+# Usage: scripts/check.sh [--sanitize-only | --tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TIER1=1
+RUN_SANITIZE=1
+case "${1:-}" in
+  --sanitize-only) RUN_TIER1=0 ;;
+  --tier1-only) RUN_SANITIZE=0 ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--sanitize-only | --tier1-only]" >&2; exit 2 ;;
+esac
+
+# Tests exercising the zero-copy buffer architecture end to end: buffer
+# primitives, command encode caches, offscreen queue-copy CoW, shared-session
+# frame reuse, and the segment-queue send path.
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress'
+
+if [[ "$RUN_TIER1" == 1 ]]; then
+  echo "== tier-1: default preset build + full ctest =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS"
+  ctest --preset default
+fi
+
+if [[ "$RUN_SANITIZE" == 1 ]]; then
+  echo "== sanitize: ASan+UBSan over buffer/command/connection tests =="
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "$JOBS"
+  ctest --preset sanitize -R "$SANITIZE_FILTER"
+fi
+
+echo "check.sh: all gates passed"

@@ -15,9 +15,17 @@ namespace {
 constexpr uint8_t kRawUncompressed = 0;
 constexpr uint8_t kRawPngLike = 1;
 
-std::vector<uint8_t> FinishFrame(MsgType type, WireWriter* writer) {
-  std::vector<uint8_t> payload = writer->Take();
-  return BuildFrame(type, payload);
+void AppendI32(std::string* out, int32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -25,6 +33,11 @@ std::vector<uint8_t> FinishFrame(MsgType type, WireWriter* writer) {
 // --- RawCommand -------------------------------------------------------------
 
 RawCommand::RawCommand(const Rect& rect, std::vector<Pixel> pixels)
+    : rect_(rect), pixels_(std::move(pixels)), region_(rect) {
+  THINC_CHECK(static_cast<int64_t>(pixels_.size()) == rect.area());
+}
+
+RawCommand::RawCommand(const Rect& rect, PixelBuffer pixels)
     : rect_(rect), pixels_(std::move(pixels)), region_(rect) {
   THINC_CHECK(static_cast<int64_t>(pixels_.size()) == rect.area());
 }
@@ -37,7 +50,7 @@ bool RawCommand::TryAppendRows(const Rect& rect, std::span<const Pixel> pixels) 
   if (region_ != Region(rect_)) {
     return false;
   }
-  pixels_.insert(pixels_.end(), pixels.begin(), pixels.end());
+  pixels_.Append(pixels);  // CoW: detaches first if a clone shares the payload
   rect_.height += rect.height;
   region_ = Region(rect_);
   InvalidateCache();
@@ -46,15 +59,60 @@ bool RawCommand::TryAppendRows(const Rect& rect, std::span<const Pixel> pixels) 
 
 void RawCommand::InvalidateCache() const {
   encoded_valid_ = false;
-  encoded_frame_.clear();
+  encoded_frame_ = ByteBuffer();
   encode_cost_ = 0;
+}
+
+std::string RawCommand::EncodeIdentityKey() const {
+  std::string key;
+  uint64_t id = pixels_.content_id();
+  key.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  key.push_back(compression_enabled_ ? 1 : 0);
+  AppendI32(&key, rect_.x);
+  AppendI32(&key, rect_.y);
+  AppendI32(&key, rect_.width);
+  AppendI32(&key, rect_.height);
+  for (const Rect& r : region_.rects()) {
+    AppendI32(&key, r.x);
+    AppendI32(&key, r.y);
+    AppendI32(&key, r.width);
+    AppendI32(&key, r.height);
+  }
+  return key;
+}
+
+std::string RawCommand::SharedContentKey() const {
+  // Same structure as EncodeIdentityKey, but content-addressed: the leading
+  // 8 bytes hash the pixels, so per-viewer copies of the same content (each
+  // viewer's server scanline-merges into its own payload) share one key.
+  std::string key = EncodeIdentityKey();
+  uint64_t hash =
+      Fnv1a64(reinterpret_cast<const uint8_t*>(pixels_.data()),
+              pixels_.size() * sizeof(Pixel));
+  std::memcpy(key.data(), &hash, sizeof(hash));
+  return key;
 }
 
 void RawCommand::EnsureEncoded() const {
   if (encoded_valid_) {
     return;
   }
-  WireWriter w;
+  // Commands sharing this payload (offscreen clones, broadcast fan-out)
+  // encode a given geometry once: later ones reuse the identical bytes and
+  // are charged the identical CPU cost, so reuse never perturbs timing.
+  std::string key = EncodeIdentityKey();
+  if (std::shared_ptr<const CachedEncode> hit = pixels_.LookupEncode(key)) {
+    encoded_frame_ = hit->frame.Share();
+    encode_cost_ = hit->cpu_cost;
+    encoded_valid_ = true;
+    return;
+  }
+  ++BufferStats::Get().raw_encodes;
+  WireWriter w(MsgType::kRaw);
+  // Worst case is every rect uncompressed; compression only shrinks this.
+  size_t upper = kFrameHeaderBytes + 4 + region_.rect_count() * (16 + 5);
+  upper += static_cast<size_t>(region_.Area()) * sizeof(Pixel);
+  w.Reserve(upper);
   w.RegionVal(region_);
   for (const Rect& r : region_.rects()) {
     std::vector<Pixel> sub = ExtractRect(r);
@@ -77,8 +135,9 @@ void RawCommand::EnsureEncoded() const {
                                      raw_bytes));
     encode_cost_ += 0.002 * static_cast<double>(raw_bytes);
   }
-  encoded_frame_ = FinishFrame(MsgType::kRaw, &w);
+  encoded_frame_ = w.Finish();
   encoded_valid_ = true;
+  pixels_.StoreEncode(key, encoded_frame_.Share(), encode_cost_);
 }
 
 size_t RawCommand::EncodedSize() const {
@@ -86,9 +145,11 @@ size_t RawCommand::EncodedSize() const {
   return encoded_frame_.size();
 }
 
-std::vector<uint8_t> RawCommand::EncodeFrame() const {
+ByteBuffer RawCommand::EncodeFrameInto(FrameArena* /*arena*/) const {
+  // RAW frames are cached on the command (and shared via the payload), so
+  // they never borrow an arena slab: the cache may outlive the flush.
   EnsureEncoded();
-  return encoded_frame_;
+  return encoded_frame_.Share();
 }
 
 double RawCommand::EncodeCpuCost() const {
@@ -109,7 +170,10 @@ std::vector<Pixel> RawCommand::ExtractRect(const Rect& r) const {
 }
 
 std::unique_ptr<Command> RawCommand::Clone() const {
-  auto clone = std::make_unique<RawCommand>(rect_, pixels_);
+  // Offscreen queue copy: the clone shares the pixel payload (copy-on-write)
+  // instead of duplicating it. The encode cache is deliberately not carried
+  // over; a clone that encodes the same geometry hits the payload cache.
+  auto clone = std::make_unique<RawCommand>(rect_, pixels_.Share());
   clone->region_ = region_;
   clone->compression_enabled_ = compression_enabled_;
   return clone;
@@ -155,7 +219,7 @@ std::unique_ptr<Command> RawCommand::SplitOff(size_t max_bytes) {
   if (head.empty() || tail.empty()) {
     return nullptr;
   }
-  auto split = std::make_unique<RawCommand>(rect_, pixels_);
+  auto split = std::make_unique<RawCommand>(rect_, pixels_.Share());
   split->region_ = std::move(head);
   split->compression_enabled_ = compression_enabled_;
   split->InvalidateCache();
@@ -185,11 +249,12 @@ size_t CopyCommand::EncodedSize() const {
   return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 8;
 }
 
-std::vector<uint8_t> CopyCommand::EncodeFrame() const {
-  WireWriter w;
+ByteBuffer CopyCommand::EncodeFrameInto(FrameArena* arena) const {
+  WireWriter w(MsgType::kCopy, arena);
+  w.Reserve(EncodedSize());
   w.RegionVal(region_);
   w.PointVal(delta_);
-  return FinishFrame(MsgType::kCopy, &w);
+  return w.Finish();
 }
 
 std::unique_ptr<Command> CopyCommand::Clone() const {
@@ -236,11 +301,12 @@ size_t SfillCommand::EncodedSize() const {
   return kFrameHeaderBytes + 4 + region_.rect_count() * 16 + 4;
 }
 
-std::vector<uint8_t> SfillCommand::EncodeFrame() const {
-  WireWriter w;
+ByteBuffer SfillCommand::EncodeFrameInto(FrameArena* arena) const {
+  WireWriter w(MsgType::kSfill, arena);
+  w.Reserve(EncodedSize());
   w.RegionVal(region_);
   w.U32(color_);
-  return FinishFrame(MsgType::kSfill, &w);
+  return w.Finish();
 }
 
 std::unique_ptr<Command> SfillCommand::Clone() const {
@@ -270,8 +336,9 @@ size_t PfillCommand::EncodedSize() const {
          static_cast<size_t>(tile_.width()) * tile_.height() * sizeof(Pixel);
 }
 
-std::vector<uint8_t> PfillCommand::EncodeFrame() const {
-  WireWriter w;
+ByteBuffer PfillCommand::EncodeFrameInto(FrameArena* arena) const {
+  WireWriter w(MsgType::kPfill, arena);
+  w.Reserve(EncodedSize());
   w.RegionVal(region_);
   w.PointVal(origin_);
   w.U16(static_cast<uint16_t>(tile_.width()));
@@ -279,7 +346,7 @@ std::vector<uint8_t> PfillCommand::EncodeFrame() const {
   std::span<const Pixel> px = tile_.pixels();
   w.Bytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(px.data()),
                                    px.size() * sizeof(Pixel)));
-  return FinishFrame(MsgType::kPfill, &w);
+  return w.Finish();
 }
 
 std::unique_ptr<Command> PfillCommand::Clone() const {
@@ -312,15 +379,16 @@ size_t BitmapCommand::EncodedSize() const {
          bitmap_.byte_size();
 }
 
-std::vector<uint8_t> BitmapCommand::EncodeFrame() const {
-  WireWriter w;
+ByteBuffer BitmapCommand::EncodeFrameInto(FrameArena* arena) const {
+  WireWriter w(MsgType::kBitmap, arena);
+  w.Reserve(EncodedSize());
   w.RegionVal(region_);
   w.PointVal(origin_);
   w.U32(fg_);
   w.U32(bg_);
   w.U8(transparent_bg_ ? 1 : 0);
   w.BitmapVal(bitmap_);
-  return FinishFrame(MsgType::kBitmap, &w);
+  return w.Finish();
 }
 
 std::unique_ptr<Command> BitmapCommand::Clone() const {

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/protocol/wire.h"
 #include "src/raster/bitmap.h"
 #include "src/raster/surface.h"
+#include "src/util/buffer.h"
 #include "src/util/geometry.h"
 #include "src/util/pixel.h"
 #include "src/util/region.h"
@@ -51,8 +53,12 @@ class Command {
 
   // Size in bytes of the (remaining) wire encoding; drives SRSF scheduling.
   virtual size_t EncodedSize() const = 0;
-  // Produces the complete wire frame (header + payload).
-  virtual std::vector<uint8_t> EncodeFrame() const = 0;
+  // Produces the complete wire frame (header + payload) as a ref-counted
+  // buffer: encoded once, shared by reference from there on. When `arena`
+  // is given, transient frames are emitted into a recycled slab.
+  ByteBuffer EncodeFrame(FrameArena* arena = nullptr) const {
+    return EncodeFrameInto(arena);
+  }
   // Estimated CPU cost (reference-speed microseconds) of encoding, charged
   // to the server at flush time. RAW compression dominates; everything else
   // is near-free.
@@ -86,6 +92,9 @@ class Command {
   int64_t schedule_seq() const { return schedule_seq_; }
   void set_schedule_seq(int64_t seq) { schedule_seq_ = seq; }
 
+ protected:
+  virtual ByteBuffer EncodeFrameInto(FrameArena* arena) const = 0;
+
  private:
   int64_t schedule_seq_ = -1;
 };
@@ -98,12 +107,14 @@ class Command {
 class RawCommand : public Command {
  public:
   RawCommand(const Rect& rect, std::vector<Pixel> pixels);
+  // Shares `pixels` — the zero-copy construction used by Clone()/SplitOff()
+  // and broadcast fan-out.
+  RawCommand(const Rect& rect, PixelBuffer pixels);
 
   MsgType type() const override { return MsgType::kRaw; }
   OverlapClass overlap() const override { return OverlapClass::kPartial; }
   const Region& region() const override { return region_; }
   size_t EncodedSize() const override;
-  std::vector<uint8_t> EncodeFrame() const override;
   double EncodeCpuCost() const override;
   std::unique_ptr<Command> Clone() const override;
   void Translate(int32_t dx, int32_t dy) override;
@@ -119,7 +130,19 @@ class RawCommand : public Command {
   const Rect& rect() const { return rect_; }
   // Backing pixels of rect() (row-major). Meaningful for merge when the
   // command is unclipped (region() == rect()).
-  std::span<const Pixel> PixelData() const { return pixels_; }
+  std::span<const Pixel> PixelData() const { return pixels_.view(); }
+  // Identity of the shared pixel payload (changes on mutation). Together
+  // with EncodeIdentityKey() it uniquely names this command's wire frame.
+  uint64_t payload_content_id() const { return pixels_.content_id(); }
+  bool payload_shared() const { return pixels_.shared(); }
+  // Exact key for encode-result caches: payload identity + everything the
+  // wire encoding depends on (codec flag, bounding rect, region rects).
+  std::string EncodeIdentityKey() const;
+  // Content-addressed variant for CROSS-payload caches (session sharing):
+  // hashes the pixel bytes instead of the allocation identity, so commands
+  // holding byte-identical but separately-allocated payloads (e.g. each
+  // viewer's scanline-merged copy of the same text) map to one key.
+  std::string SharedContentKey() const;
 
   // Compression is decided per command: small updates go uncompressed,
   // larger ones use the PNG-like codec when it wins (Section 7).
@@ -136,18 +159,23 @@ class RawCommand : public Command {
   // Reads the pixels of `r` (must be inside rect()) row-major.
   std::vector<Pixel> ExtractRect(const Rect& r) const;
 
+ protected:
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
+
  private:
   void InvalidateCache() const;
   void EnsureEncoded() const;
 
   Rect rect_;
-  std::vector<Pixel> pixels_;  // rect_.width * rect_.height
-  Region region_;              // subset of rect_ actually drawn
+  PixelBuffer pixels_;  // rect_.width * rect_.height, CoW-shared by clones
+  Region region_;       // subset of rect_ actually drawn
   bool compression_enabled_ = true;
 
-  // Lazy encode cache (cleared by any mutation).
+  // Lazy encode cache (cleared by any mutation). The frame itself may also
+  // live in the payload's shared cache, so commands cloned from one payload
+  // encode identical geometry exactly once.
   mutable bool encoded_valid_ = false;
-  mutable std::vector<uint8_t> encoded_frame_;
+  mutable ByteBuffer encoded_frame_;
   mutable double encode_cost_ = 0;
 };
 
@@ -162,7 +190,7 @@ class CopyCommand : public Command {
   OverlapClass overlap() const override { return OverlapClass::kTransparent; }
   const Region& region() const override { return region_; }
   size_t EncodedSize() const override;
-  std::vector<uint8_t> EncodeFrame() const override;
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
   std::unique_ptr<Command> Clone() const override;
   void Translate(int32_t dx, int32_t dy) override;
   bool RestrictTo(const Region& keep) override;
@@ -186,7 +214,7 @@ class SfillCommand : public Command {
   OverlapClass overlap() const override { return OverlapClass::kComplete; }
   const Region& region() const override { return region_; }
   size_t EncodedSize() const override;
-  std::vector<uint8_t> EncodeFrame() const override;
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
   std::unique_ptr<Command> Clone() const override;
   void Translate(int32_t dx, int32_t dy) override;
   bool RestrictTo(const Region& keep) override;
@@ -208,7 +236,7 @@ class PfillCommand : public Command {
   OverlapClass overlap() const override { return OverlapClass::kComplete; }
   const Region& region() const override { return region_; }
   size_t EncodedSize() const override;
-  std::vector<uint8_t> EncodeFrame() const override;
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
   std::unique_ptr<Command> Clone() const override;
   void Translate(int32_t dx, int32_t dy) override;
   bool RestrictTo(const Region& keep) override;
@@ -235,7 +263,7 @@ class BitmapCommand : public Command {
   }
   const Region& region() const override { return region_; }
   size_t EncodedSize() const override;
-  std::vector<uint8_t> EncodeFrame() const override;
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
   std::unique_ptr<Command> Clone() const override;
   void Translate(int32_t dx, int32_t dy) override;
   bool RestrictTo(const Region& keep) override;

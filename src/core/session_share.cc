@@ -54,15 +54,27 @@ void BroadcastDriver::OnCopy(DrawableId src, DrawableId dst, const Rect& src_rec
 
 void BroadcastDriver::OnPutImage(DrawableId dst, const Rect& rect,
                                  std::span<const Pixel> pixels) {
+  // Materialize the transient span ONCE; every sink shares the same
+  // ref-counted payload instead of copying it per viewer.
+  OnPutImageShared(dst, rect, PixelBuffer::Copy(pixels));
+}
+
+void BroadcastDriver::OnPutImageShared(DrawableId dst, const Rect& rect,
+                                       const PixelBuffer& pixels) {
   for (DisplayDriver* sink : sinks_) {
-    sink->OnPutImage(dst, rect, pixels);
+    sink->OnPutImageShared(dst, rect, pixels.Share());
   }
 }
 
 void BroadcastDriver::OnComposite(DrawableId dst, const Rect& rect,
                                   std::span<const Pixel> blended) {
+  OnCompositeShared(dst, rect, PixelBuffer::Copy(blended));
+}
+
+void BroadcastDriver::OnCompositeShared(DrawableId dst, const Rect& rect,
+                                        const PixelBuffer& blended) {
   for (DisplayDriver* sink : sinks_) {
-    sink->OnComposite(dst, rect, blended);
+    sink->OnCompositeShared(dst, rect, blended.Share());
   }
 }
 
@@ -161,6 +173,9 @@ SharedSessionHost::Viewer* SharedSessionHost::AddViewer(
   viewer->conn = std::make_unique<Connection>(loop_, link);
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
+  // All viewers share one encoded-frame cache: a frame encoded for any
+  // viewer is reused (bytes and skipped CPU charge) by the rest.
+  server_options.shared_frame_cache = &frame_cache_;
   // Per-viewer protocol work (translation, encode, encryption) runs on the
   // one shared host CPU — which is what bounds how many viewers one session
   // scales to.

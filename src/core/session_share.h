@@ -44,8 +44,12 @@ class BroadcastDriver : public DisplayDriver {
               Point dst_origin) override;
   void OnPutImage(DrawableId dst, const Rect& rect,
                   std::span<const Pixel> pixels) override;
+  void OnPutImageShared(DrawableId dst, const Rect& rect,
+                        const PixelBuffer& pixels) override;
   void OnComposite(DrawableId dst, const Rect& rect,
                    std::span<const Pixel> blended) override;
+  void OnCompositeShared(DrawableId dst, const Rect& rect,
+                         const PixelBuffer& blended) override;
   void OnCreatePixmap(DrawableId id, int32_t width, int32_t height) override;
   void OnDestroyPixmap(DrawableId id) override;
   bool SupportsVideo() const override { return true; }
@@ -106,6 +110,11 @@ class SharedSessionHost {
   EventLoop* loop_;
   CpuAccount host_cpu_;
   BroadcastDriver broadcast_;
+  // Encoded-frame cache shared by every viewer's server: the first viewer to
+  // encode a RAW frame at flush time stores it here, the rest reuse the
+  // bytes and skip the encode CPU charge (~1 encode per frame regardless of
+  // viewer count).
+  ByteBufferCache frame_cache_;
   std::unique_ptr<WindowServer> window_server_;
   std::vector<std::unique_ptr<Viewer>> viewers_;
   std::function<void(Point)> input_fn_;

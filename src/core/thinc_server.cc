@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/raster/fant.h"
+#include "src/util/buffer.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -52,7 +53,8 @@ void ThincServer::OnConnectionClosed() {
   // offscreen queues, stream geometry, viewport — is parked untouched.
   pending_.reset();
   pending_prepared_ = false;
-  pending_frame_.clear();
+  pending_shared_wait_ = false;
+  pending_frame_ = ByteBuffer();
   pending_cursor_ = 0;
   update_requested_ = false;
   audio_queue_.clear();
@@ -72,7 +74,8 @@ void ThincServer::Attach(Connection* conn) {
   }
   pending_.reset();
   pending_prepared_ = false;
-  pending_frame_.clear();
+  pending_shared_wait_ = false;
+  pending_frame_ = ByteBuffer();
   pending_cursor_ = 0;
   update_requested_ = false;
   audio_queue_.clear();
@@ -90,7 +93,7 @@ void ThincServer::Attach(Connection* conn) {
 
 void ThincServer::ReannounceStreams() {
   for (const auto& [id, st] : streams_) {
-    WireWriter w;
+    WireWriter w(MsgType::kVideoSetup, &arena_);
     w.I32(id);
     w.I32(st.src_width);
     w.I32(st.src_height);
@@ -99,8 +102,7 @@ void ThincServer::ReannounceStreams() {
             ? Region(st.dst).Scaled(viewport_->num, viewport_->den).Bounds()
             : st.dst;
     w.RectVal(scaled_dst);
-    std::vector<uint8_t> payload = w.Take();
-    audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoSetup, payload)});
+    audio_queue_.push_back(MediaItem{w.Finish()});
   }
   if (!streams_.empty()) {
     ScheduleFlush(0);
@@ -149,9 +151,16 @@ void ThincServer::OnFillStippled(DrawableId dst, const Region& region,
 
 void ThincServer::OnPutImage(DrawableId dst, const Rect& rect,
                              std::span<const Pixel> pixels) {
+  OnPutImageShared(dst, rect, PixelBuffer::Copy(pixels));
+}
+
+void ThincServer::OnPutImageShared(DrawableId dst, const Rect& rect,
+                                   const PixelBuffer& pixels) {
+  // Broadcast fan-out lands here with one shared payload for all viewers:
+  // every server's RawCommand references the same backing pixels (and thus
+  // the same payload-attached encode cache).
   cpu_->Charge(kTranslateCost);
-  auto cmd = std::make_unique<RawCommand>(
-      rect, std::vector<Pixel>(pixels.begin(), pixels.end()));
+  auto cmd = std::make_unique<RawCommand>(rect, pixels.Share());
   cmd->set_compression_enabled(options_.compress_raw);
   Emit(dst, std::move(cmd));
 }
@@ -162,6 +171,11 @@ void ThincServer::OnComposite(DrawableId dst, const Rect& rect,
   // composition hardware in the emulated client); the blended result is
   // opaque RAW content.
   OnPutImage(dst, rect, blended);
+}
+
+void ThincServer::OnCompositeShared(DrawableId dst, const Rect& rect,
+                                    const PixelBuffer& blended) {
+  OnPutImageShared(dst, rect, blended);
 }
 
 void ThincServer::OnCopy(DrawableId src, DrawableId dst, const Rect& src_rect,
@@ -375,7 +389,7 @@ int32_t ThincServer::OnVideoStreamCreate(int32_t src_width, int32_t src_height,
   if (!connected_) {
     return id;  // geometry parked; re-announced on Attach()
   }
-  WireWriter w;
+  WireWriter w(MsgType::kVideoSetup, &arena_);
   w.I32(id);
   w.I32(src_width);
   w.I32(src_height);
@@ -383,8 +397,7 @@ int32_t ThincServer::OnVideoStreamCreate(int32_t src_width, int32_t src_height,
                         ? Region(dst).Scaled(viewport_->num, viewport_->den).Bounds()
                         : dst;
   w.RectVal(scaled_dst);
-  std::vector<uint8_t> payload = w.Take();
-  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoSetup, payload)});
+  audio_queue_.push_back(MediaItem{w.Finish()});
   ScheduleFlush(0);
   return id;
 }
@@ -409,7 +422,7 @@ void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
     downscaled = Yv12Downscale(frame, dw, dh);
     to_send = &downscaled;
   }
-  WireWriter w;
+  WireWriter w(MsgType::kVideoFrame, &arena_);
   w.I32(stream_id);
   w.I32(to_send->width);
   w.I32(to_send->height);
@@ -419,12 +432,10 @@ void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
   std::vector<uint8_t> packed = to_send->Pack();
   cpu_->Charge(0.002 * static_cast<double>(packed.size()));
   w.Bytes(packed);
-  std::vector<uint8_t> payload = w.Take();
-  EnqueueVideoFrame(stream_id, BuildFrame(MsgType::kVideoFrame, payload));
+  EnqueueVideoFrame(stream_id, w.Finish());
 }
 
-void ThincServer::EnqueueVideoFrame(int32_t stream_id,
-                                    std::vector<uint8_t> wire_frame) {
+void ThincServer::EnqueueVideoFrame(int32_t stream_id, ByteBuffer wire_frame) {
   // Client-buffer semantics for video: a frame still waiting (unstarted)
   // when its successor arrives is outdated — drop it, keep the fresh one.
   for (auto& item : video_queue_) {
@@ -450,14 +461,13 @@ void ThincServer::OnVideoStreamMove(int32_t stream_id, const Rect& dst) {
   if (!connected_) {
     return;  // Attach() re-announces the stream at its latest geometry
   }
-  WireWriter w;
+  WireWriter w(MsgType::kVideoMove, &arena_);
   w.I32(stream_id);
   Rect scaled_dst = viewport_.has_value()
                         ? Region(dst).Scaled(viewport_->num, viewport_->den).Bounds()
                         : dst;
   w.RectVal(scaled_dst);
-  std::vector<uint8_t> payload = w.Take();
-  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoMove, payload)});
+  audio_queue_.push_back(MediaItem{w.Finish()});
   ScheduleFlush(0);
 }
 
@@ -471,10 +481,9 @@ void ThincServer::OnVideoStreamDestroy(int32_t stream_id) {
   if (!connected_) {
     return;  // a reattached client never learns of the dead stream
   }
-  WireWriter w;
+  WireWriter w(MsgType::kVideoTeardown, &arena_);
   w.I32(stream_id);
-  std::vector<uint8_t> payload = w.Take();
-  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kVideoTeardown, payload)});
+  audio_queue_.push_back(MediaItem{w.Finish()});
   ScheduleFlush(0);
 }
 
@@ -493,12 +502,11 @@ void ThincServer::SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) {
   if (!connected_) {
     return;  // no listener; stale audio is worthless after reconnect
   }
-  WireWriter w;
+  WireWriter w(MsgType::kAudio, &arena_);
   w.I64(timestamp);
   w.U32(static_cast<uint32_t>(pcm.size()));
   w.Bytes(pcm);
-  std::vector<uint8_t> payload = w.Take();
-  audio_queue_.push_back(MediaItem{BuildFrame(MsgType::kAudio, payload)});
+  audio_queue_.push_back(MediaItem{w.Finish()});
   ScheduleFlush(0);
 }
 
@@ -515,18 +523,25 @@ void ThincServer::ScheduleFlush(SimTime delay) {
   });
 }
 
-size_t ThincServer::CommitBytes(const std::vector<uint8_t>& bytes, size_t* cursor) {
+size_t ThincServer::CommitBytes(const ByteBuffer& bytes, size_t* cursor) {
   size_t space = conn_->FreeSpace(Connection::kServer);
   size_t n = std::min(space, bytes.size() - *cursor);
   if (n == 0) {
     return 0;
   }
-  std::vector<uint8_t> chunk(bytes.begin() + *cursor, bytes.begin() + *cursor + n);
+  size_t sent;
   if (tx_cipher_.has_value()) {
+    // The keystream transform needs private bytes: copy once, then cipher
+    // in place. (The shared frame must stay pristine for other viewers.)
+    std::vector<uint8_t> chunk(bytes.begin() + *cursor, bytes.begin() + *cursor + n);
+    BufferStats::Get().NoteCopy(static_cast<int64_t>(n));
     tx_cipher_->Process(chunk, chunk);
     cpu_->Charge(cpucost::kRc4PerByte * static_cast<double>(n));
+    sent = conn_->Send(Connection::kServer, chunk);
+  } else {
+    // Zero-copy commit: the connection queues a view of the encoded frame.
+    sent = conn_->Send(Connection::kServer, bytes.Slice(*cursor, n));
   }
-  size_t sent = conn_->Send(Connection::kServer, chunk);
   THINC_CHECK(sent == n);  // we never offer more than FreeSpace()
   *cursor += n;
   return n;
@@ -553,23 +568,85 @@ void ThincServer::Flush() {
       if (pending_cursor_ < pending_frame_.size()) {
         return;  // socket full; writable callback resumes us
       }
-      pending_frame_.clear();
+      pending_frame_ = ByteBuffer();
       pending_cursor_ = 0;
       continue;
     }
     // 2. A popped display command in progress.
     if (pending_ != nullptr) {
       if (!pending_prepared_) {
-        double cost = pending_->EncodeCpuCost();
-        pending_ready_ = cpu_->Charge(cost);
-        pending_prepared_ = true;
+        // Session sharing: if another viewer's server already encoded this
+        // exact frame (same content, same geometry), reuse the bytes and
+        // skip the encode CPU charge; if that encode is still in flight,
+        // wait for its completion instead of starting a duplicate. Either
+        // way encode cost amortizes to ~1 encode per frame across N viewers.
+        pending_cache_key_.clear();
+        pending_shared_wait_ = false;
+        if (options_.shared_frame_cache != nullptr &&
+            pending_->type() == MsgType::kRaw) {
+          pending_cache_key_ =
+              static_cast<RawCommand*>(pending_.get())->SharedContentKey();
+          ByteBuffer cached = options_.shared_frame_cache->Lookup(pending_cache_key_);
+          if (!cached.empty()) {
+            pending_frame_ = std::move(cached);
+            pending_cursor_ = 0;
+            pending_.reset();
+            continue;
+          }
+          int64_t other_ready =
+              options_.shared_frame_cache->PendingEncodeReady(pending_cache_key_);
+          if (other_ready >= now) {
+            pending_ready_ = other_ready;
+            pending_prepared_ = true;
+            pending_shared_wait_ = true;
+          }
+        }
+        if (!pending_prepared_) {
+          double cost = pending_->EncodeCpuCost();
+          pending_ready_ = cpu_->Charge(cost);
+          pending_prepared_ = true;
+          if (pending_->type() == MsgType::kRaw) {
+            ++BufferStats::Get().encode_charges;
+          }
+          if (!pending_cache_key_.empty()) {
+            options_.shared_frame_cache->NoteEncodeStarted(pending_cache_key_,
+                                                           pending_ready_);
+          }
+        }
       }
       if (now < pending_ready_) {
         // Encoding still "running" on the server CPU.
         loop_->ScheduleAt(pending_ready_, [this] { Flush(); });
         return;
       }
-      std::vector<uint8_t> frame = pending_->EncodeFrame();
+      if (pending_shared_wait_) {
+        // We idled while another server encoded this frame; pick it up.
+        pending_shared_wait_ = false;
+        ByteBuffer cached =
+            options_.shared_frame_cache->Lookup(pending_cache_key_);
+        if (!cached.empty()) {
+          pending_frame_ = std::move(cached);
+          pending_cursor_ = 0;
+          pending_.reset();
+          pending_prepared_ = false;
+          continue;
+        }
+        // The encoding server never delivered (reset, or its entry was
+        // evicted): encode ourselves after all.
+        double cost = pending_->EncodeCpuCost();
+        pending_ready_ = cpu_->Charge(cost);
+        ++BufferStats::Get().encode_charges;
+        options_.shared_frame_cache->NoteEncodeStarted(pending_cache_key_,
+                                                       pending_ready_);
+        if (now < pending_ready_) {
+          loop_->ScheduleAt(pending_ready_, [this] { Flush(); });
+          return;
+        }
+      }
+      ByteBuffer frame = pending_->EncodeFrame(&arena_);
+      if (options_.shared_frame_cache != nullptr && !pending_cache_key_.empty()) {
+        options_.shared_frame_cache->Store(pending_cache_key_, frame.Share());
+      }
       size_t space = conn_->FreeSpace(Connection::kServer);
       if (frame.size() <= space) {
         size_t cursor = 0;
@@ -583,8 +660,7 @@ void ThincServer::Flush() {
       // rescheduled by remaining size (non-blocking operation, Section 5).
       std::unique_ptr<Command> part = pending_->SplitOff(space);
       if (part != nullptr) {
-        std::vector<uint8_t> part_frame = part->EncodeFrame();
-        pending_frame_ = std::move(part_frame);
+        pending_frame_ = part->EncodeFrame(&arena_);
         pending_cursor_ = 0;
         scheduler_.Reinsert(std::move(pending_));
         pending_prepared_ = false;

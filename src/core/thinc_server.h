@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "src/codec/rc4.h"
 #include "src/core/command.h"
@@ -55,6 +56,11 @@ struct ThincServerOptions {
   SchedulerOptions scheduler;
   // Aggregation window between command generation and transmission.
   SimTime flush_interval = kMillisecond;
+  // Shared encoded-frame cache (session sharing): when set — only a
+  // SharedSessionHost does this — a RAW frame another viewer's server
+  // already encoded is reused at flush time and its encode CPU charge is
+  // skipped, amortizing encode cost to ~1 per frame across N viewers.
+  ByteBufferCache* shared_frame_cache = nullptr;
 };
 
 class ThincServer : public DisplayDriver {
@@ -76,8 +82,12 @@ class ThincServer : public DisplayDriver {
               Point dst_origin) override;
   void OnPutImage(DrawableId dst, const Rect& rect,
                   std::span<const Pixel> pixels) override;
+  void OnPutImageShared(DrawableId dst, const Rect& rect,
+                        const PixelBuffer& pixels) override;
   void OnComposite(DrawableId dst, const Rect& rect,
                    std::span<const Pixel> blended) override;
+  void OnCompositeShared(DrawableId dst, const Rect& rect,
+                         const PixelBuffer& blended) override;
   void OnCreatePixmap(DrawableId id, int32_t width, int32_t height) override;
   void OnDestroyPixmap(DrawableId id) override;
   bool SupportsVideo() const override { return true; }
@@ -133,8 +143,7 @@ class ThincServer : public DisplayDriver {
 
  private:
   struct MediaItem {
-    std::vector<uint8_t> frame;  // complete wire frame
-    size_t cursor = 0;           // bytes already committed to the socket
+    ByteBuffer frame;   // complete wire frame (ref-counted view)
     bool is_video = false;
     int32_t stream_id = -1;
   };
@@ -175,11 +184,13 @@ class ThincServer : public DisplayDriver {
   void ScheduleFlush(SimTime delay);
   void Flush();
   // Commits as much of `bytes` (starting at *cursor) as the socket accepts;
-  // returns the number of bytes committed.
-  size_t CommitBytes(const std::vector<uint8_t>& bytes, size_t* cursor);
+  // returns the number of bytes committed. Unencrypted bytes are handed to
+  // the connection as a zero-copy slice; encryption copies once (the
+  // keystream transform needs its own bytes).
+  size_t CommitBytes(const ByteBuffer& bytes, size_t* cursor);
   void OnReceive(std::span<const uint8_t> data);
   void HandleFrame(uint8_t type, std::span<const uint8_t> payload);
-  void EnqueueVideoFrame(int32_t stream_id, std::vector<uint8_t> wire_frame);
+  void EnqueueVideoFrame(int32_t stream_id, ByteBuffer wire_frame);
 
   EventLoop* loop_;
   Connection* conn_;
@@ -197,12 +208,18 @@ class ThincServer : public DisplayDriver {
 
   // Flush state.
   bool flush_scheduled_ = false;
-  std::unique_ptr<Command> pending_;        // command being transmitted
-  std::vector<uint8_t> pending_frame_;      // its encoded bytes
+  std::unique_ptr<Command> pending_;  // command being transmitted
+  ByteBuffer pending_frame_;          // its encoded bytes
   size_t pending_cursor_ = 0;
   bool pending_prepared_ = false;
   SimTime pending_ready_ = 0;
+  std::string pending_cache_key_;  // shared-frame-cache key of pending_
+  // True while idling for another viewer's in-flight encode of the same key.
+  bool pending_shared_wait_ = false;
   bool update_requested_ = false;  // client-pull mode
+  // Recycled slabs for transient frames (media/control); a slab is reused
+  // once its frame has fully drained out of the send path.
+  FrameArena arena_;
 
   std::optional<Viewport> viewport_;
   std::optional<Rc4Cipher> tx_cipher_;

@@ -21,6 +21,7 @@
 #include "src/raster/bitmap.h"
 #include "src/raster/surface.h"
 #include "src/raster/yuv.h"
+#include "src/util/buffer.h"
 #include "src/util/geometry.h"
 #include "src/util/pixel.h"
 #include "src/util/region.h"
@@ -46,11 +47,22 @@ class DisplayDriver {
                       Point dst_origin) {}
   virtual void OnPutImage(DrawableId dst, const Rect& rect,
                           std::span<const Pixel> pixels) {}
+  // Ref-counted variant: a multiplexer (BroadcastDriver) hands every sink
+  // the same shareable payload so N viewers reference one allocation
+  // instead of each copying the pixels. Default forwards to OnPutImage.
+  virtual void OnPutImageShared(DrawableId dst, const Rect& rect,
+                                const PixelBuffer& pixels) {
+    OnPutImage(dst, rect, pixels.view());
+  }
   // Alpha-blended content the window server composited in software because
   // the (virtual) hardware lacks composition support; `pixels` is the
   // already-blended result for the rect.
   virtual void OnComposite(DrawableId dst, const Rect& rect,
                            std::span<const Pixel> blended) {}
+  virtual void OnCompositeShared(DrawableId dst, const Rect& rect,
+                                 const PixelBuffer& blended) {
+    OnComposite(dst, rect, blended.view());
+  }
 
   // --- Drawable lifecycle ---------------------------------------------------
   virtual void OnCreatePixmap(DrawableId id, int32_t width, int32_t height) {}

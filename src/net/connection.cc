@@ -33,7 +33,20 @@ size_t Connection::Send(int from, std::span<const uint8_t> data) {
   }
   Direction& d = dirs_[from];
   size_t accepted = std::min(data.size(), FreeSpace(from));
-  d.send_buffer.insert(d.send_buffer.end(), data.begin(), data.begin() + accepted);
+  d.send_buffer.AppendCopy(data.subspan(0, accepted));
+  if (accepted > 0 && !d.pump_scheduled) {
+    SchedulePump(from, loop_->now());
+  }
+  return accepted;
+}
+
+size_t Connection::Send(int from, const ByteBuffer& data) {
+  if (closed_) {
+    return 0;
+  }
+  Direction& d = dirs_[from];
+  size_t accepted = std::min(data.size(), FreeSpace(from));
+  d.send_buffer.Append(data.Slice(0, accepted));
   if (accepted > 0 && !d.pump_scheduled) {
     SchedulePump(from, loop_->now());
   }
@@ -122,7 +135,7 @@ void Connection::Reset() {
   ++epoch_;
   frozen_.clear();
   for (Direction& d : dirs_) {
-    d.send_buffer.clear();
+    d.send_buffer.Clear();
     d.inflight.clear();
     d.inflight_bytes = 0;
   }
@@ -229,9 +242,9 @@ void Connection::Pump(int from) {
     SimTime depart = now + tx_time;
     d.serialize_free_at = depart;
 
-    std::vector<uint8_t> payload(d.send_buffer.begin(),
-                                 d.send_buffer.begin() + seg_len);
-    d.send_buffer.erase(d.send_buffer.begin(), d.send_buffer.begin() + seg_len);
+    // MSS-sized slice of the queued frames: zero-copy when it lies inside
+    // one queued buffer, gathered only when it straddles two.
+    ByteBuffer payload = d.send_buffer.PopUpTo(static_cast<size_t>(seg_len));
     freed_space = true;
 
     SimTime arrival = depart + params_.rtt / 2;
@@ -276,11 +289,11 @@ Relay::Relay(Connection* a, int a_end, Connection* b, int b_end) {
   // Bytes arriving at a_end of `a` are forwarded out of b_end of `b`, and
   // vice versa. Backlogs absorb rate mismatches between the two legs.
   a->SetReceiver(a_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
-    backlog_ab_.insert(backlog_ab_.end(), data.begin(), data.end());
+    backlog_ab_.AppendCopy(data);
     ForwardPending(a, a_end, b, b_end, &backlog_ab_);
   });
   b->SetReceiver(b_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
-    backlog_ba_.insert(backlog_ba_.end(), data.begin(), data.end());
+    backlog_ba_.AppendCopy(data);
     ForwardPending(b, b_end, a, a_end, &backlog_ba_);
   });
   a->SetWritable(a_end, [this, a, a_end, b, b_end] {
@@ -292,17 +305,19 @@ Relay::Relay(Connection* a, int a_end, Connection* b, int b_end) {
 }
 
 void Relay::ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
-                           std::deque<uint8_t>* backlog) {
+                           SegmentQueue* backlog) {
   while (!backlog->empty()) {
     size_t space = to->FreeSpace(to_end);
     if (space == 0) {
       return;
     }
     size_t n = std::min(space, backlog->size());
-    std::vector<uint8_t> chunk(backlog->begin(), backlog->begin() + n);
+    ByteBuffer chunk = backlog->PopUpTo(n);
     size_t sent = to->Send(to_end, chunk);
-    backlog->erase(backlog->begin(), backlog->begin() + sent);
     if (sent < n) {
+      // The outbound leg refused bytes (e.g. it closed mid-forward); keep
+      // the un-accepted remainder queued, exactly like the old backlog.
+      backlog->Prepend(chunk.Slice(sent, n - sent));
       return;
     }
   }

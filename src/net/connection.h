@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/net/link.h"
+#include "src/util/buffer.h"
 #include "src/util/event_loop.h"
 
 namespace thinc {
@@ -57,8 +58,11 @@ class Connection {
              size_t send_buffer_bytes = 256 << 10);
 
   // Queues up to FreeSpace(from) bytes; returns the number accepted.
-  // A closed connection accepts nothing.
+  // A closed connection accepts nothing. The span overload copies the
+  // accepted bytes (the caller's buffer is transient); the ByteBuffer
+  // overload enqueues a ref-counted view without copying.
   size_t Send(int from, std::span<const uint8_t> data);
+  size_t Send(int from, const ByteBuffer& data);
   size_t FreeSpace(int from) const;
   // Total socket buffer capacity for one direction.
   size_t SendBufferCapacity() const { return send_buffer_bytes_; }
@@ -113,11 +117,8 @@ class Connection {
   void ResetTraces();
 
  private:
-  struct Segment {
-    std::vector<uint8_t> data;
-  };
   struct Direction {
-    std::deque<uint8_t> send_buffer;      // bytes accepted but not serialized
+    SegmentQueue send_buffer;             // bytes accepted but not serialized
     int64_t inflight_bytes = 0;           // serialized but unacknowledged
     std::deque<std::pair<SimTime, int64_t>> inflight;  // (ack time, bytes)
     SimTime serialize_free_at = 0;        // when the "wire" is next free
@@ -159,10 +160,10 @@ class Relay {
 
  private:
   void ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
-                      std::deque<uint8_t>* backlog);
+                      SegmentQueue* backlog);
 
-  std::deque<uint8_t> backlog_ab_;
-  std::deque<uint8_t> backlog_ba_;
+  SegmentQueue backlog_ab_;
+  SegmentQueue backlog_ba_;
 };
 
 }  // namespace thinc

@@ -6,16 +6,54 @@
 
 namespace thinc {
 
+WireWriter::WireWriter(MsgType type, FrameArena* arena) : frame_mode_(true) {
+  if (arena != nullptr) {
+    slab_ = arena->Acquire();
+    buf_ = &slab_->bytes;
+  } else {
+    buf_ = &own_;
+  }
+  // Header placeholder; Finish() patches the length in place.
+  buf_->push_back(static_cast<uint8_t>(type));
+  buf_->insert(buf_->end(), kFrameHeaderBytes - 1, 0);
+}
+
+std::vector<uint8_t> WireWriter::Take() {
+  THINC_CHECK_MSG(!frame_mode_, "Take() is for payload-mode writers");
+  return std::move(own_);
+}
+
+ByteBuffer WireWriter::Finish() {
+  THINC_CHECK_MSG(frame_mode_, "Finish() is for frame-mode writers");
+  uint32_t len = static_cast<uint32_t>(buf_->size() - kFrameHeaderBytes);
+  (*buf_)[1] = static_cast<uint8_t>(len);
+  (*buf_)[2] = static_cast<uint8_t>(len >> 8);
+  (*buf_)[3] = static_cast<uint8_t>(len >> 16);
+  (*buf_)[4] = static_cast<uint8_t>(len >> 24);
+  frame_mode_ = false;
+  if (slab_ != nullptr) {
+    slab_->Track();
+    size_t size = slab_->bytes.size();
+    ByteBuffer out(std::move(slab_), 0, size);
+    if (!ZeroCopyMode()) {
+      // Legacy emulation: frames were copied out of the writer.
+      return ByteBuffer::Copy(out.view());
+    }
+    return out;
+  }
+  return ByteBuffer::Adopt(std::move(own_));
+}
+
 void WireWriter::U16(uint16_t v) {
-  buf_.push_back(static_cast<uint8_t>(v));
-  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_->push_back(static_cast<uint8_t>(v));
+  buf_->push_back(static_cast<uint8_t>(v >> 8));
 }
 
 void WireWriter::U32(uint32_t v) {
-  buf_.push_back(static_cast<uint8_t>(v));
-  buf_.push_back(static_cast<uint8_t>(v >> 8));
-  buf_.push_back(static_cast<uint8_t>(v >> 16));
-  buf_.push_back(static_cast<uint8_t>(v >> 24));
+  buf_->push_back(static_cast<uint8_t>(v));
+  buf_->push_back(static_cast<uint8_t>(v >> 8));
+  buf_->push_back(static_cast<uint8_t>(v >> 16));
+  buf_->push_back(static_cast<uint8_t>(v >> 24));
 }
 
 void WireWriter::I64(int64_t v) {
@@ -25,7 +63,7 @@ void WireWriter::I64(int64_t v) {
 }
 
 void WireWriter::Bytes(std::span<const uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  buf_->insert(buf_->end(), data.begin(), data.end());
 }
 
 void WireWriter::RectVal(const Rect& r) {

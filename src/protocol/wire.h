@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/raster/bitmap.h"
+#include "src/util/buffer.h"
 #include "src/util/geometry.h"
 #include "src/util/region.h"
 
@@ -44,9 +45,20 @@ enum class MsgType : uint8_t {
 constexpr size_t kFrameHeaderBytes = 5;  // u8 type + u32 length
 
 // Append-only little-endian writer.
+//
+// Two modes:
+//   * Payload mode (default constructor): writes accumulate in an internal
+//     vector; Take() moves the payload out (pair with BuildFrame()).
+//   * Frame mode (MsgType constructor): the 5-byte frame header is written
+//     in place up front — optionally into a recycled FrameArena slab — and
+//     Finish() patches the length and *moves* the completed frame out as a
+//     ref-counted ByteBuffer. No post-hoc header copy ever happens.
 class WireWriter {
  public:
-  void U8(uint8_t v) { buf_.push_back(v); }
+  WireWriter() : buf_(&own_) {}
+  explicit WireWriter(MsgType type, FrameArena* arena = nullptr);
+
+  void U8(uint8_t v) { buf_->push_back(v); }
   void U16(uint16_t v);
   void U32(uint32_t v);
   void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
@@ -57,12 +69,24 @@ class WireWriter {
   void RegionVal(const Region& region);
   void BitmapVal(const Bitmap& bitmap);
 
-  size_t size() const { return buf_.size(); }
-  const std::vector<uint8_t>& data() const { return buf_; }
-  std::vector<uint8_t> Take() { return std::move(buf_); }
+  // Pre-sizes the buffer for `total` bytes of output (header included in
+  // frame mode) so exactly-sized writes never reallocate.
+  void Reserve(size_t total) { buf_->reserve(total); }
+
+  // Frame mode includes the header in size()/data().
+  size_t size() const { return buf_->size(); }
+  const std::vector<uint8_t>& data() const { return *buf_; }
+  // Payload mode only.
+  std::vector<uint8_t> Take();
+  // Frame mode only: patches the header length and moves the frame out.
+  // The writer is spent afterwards.
+  ByteBuffer Finish();
 
  private:
-  std::vector<uint8_t> buf_;
+  std::vector<uint8_t> own_;
+  std::shared_ptr<internal::ByteStorage> slab_;  // frame mode with an arena
+  std::vector<uint8_t>* buf_;
+  bool frame_mode_ = false;
 };
 
 // Bounds-checked reader. All accessors return false (or nullopt) instead of

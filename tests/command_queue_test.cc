@@ -259,5 +259,57 @@ TEST(ExtractForCopyTest, SourceReusableMultipleTimes) {
   EXPECT_EQ(second.size(), 1u);
 }
 
+TEST(ExtractForCopyTest, ExtractedRawSharesPayloadUntilMutation) {
+  // The offscreen queue-copy is the CoW tentpole case: extracting a RAW from
+  // the queue clones it by reference (one backing allocation), and only a
+  // genuine mutation of either side detaches.
+  SetZeroCopyMode(true);
+  Rect r{0, 0, 16, 16};
+  CommandQueue q;
+  q.Insert(Raw(r, MakePixel(10, 20, 30)));
+  auto* original = static_cast<RawCommand*>(q.commands()[0].get());
+  Surface pixmap(16, 16, MakePixel(10, 20, 30));
+
+  BufferStats::Get().Reset();
+  auto out = q.ExtractForCopy(r, Point{0, 0}, pixmap);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0]->type(), MsgType::kRaw);
+  auto* extracted = static_cast<RawCommand*>(out[0].get());
+  // Same backing payload, zero pixel bytes copied by the extraction.
+  EXPECT_EQ(extracted->payload_content_id(), original->payload_content_id());
+  EXPECT_TRUE(extracted->payload_shared());
+  EXPECT_EQ(BufferStats::Get().copied_bytes, 0);
+
+  // Mutating the extracted copy detaches it; the queued original is intact.
+  uint64_t queued_id = original->payload_content_id();
+  ASSERT_TRUE(extracted->TryAppendRows(Rect{0, 16, 16, 1},
+                                       std::vector<Pixel>(16, kBlack)));
+  EXPECT_NE(extracted->payload_content_id(), queued_id);
+  EXPECT_EQ(original->payload_content_id(), queued_id);
+  EXPECT_EQ(BufferStats::Get().cow_detaches, 1);
+  EXPECT_EQ(original->PixelData()[0], MakePixel(10, 20, 30));
+  EXPECT_EQ(original->PixelData().size(), static_cast<size_t>(r.area()));
+}
+
+TEST(ExtractForCopyTest, QueueCopyIndependenceUnderCoW) {
+  // Full behavioural independence: extract, then overwrite the source queue
+  // entry — the previously extracted commands must still replay the old
+  // content (value semantics preserved by copy-on-write).
+  SetZeroCopyMode(true);
+  Rect r{0, 0, 8, 8};
+  CommandQueue q;
+  q.Insert(Raw(r, kWhite));
+  Surface pixmap(8, 8, kWhite);
+  auto out = q.ExtractForCopy(r, Point{0, 0}, pixmap);
+  ASSERT_EQ(out.size(), 1u);
+
+  // The source pixmap is redrawn: its queue now holds different content.
+  q.Insert(Raw(r, kBlack));
+
+  Surface fb(8, 8, MakePixel(1, 1, 1));
+  out[0]->Apply(&fb);
+  EXPECT_EQ(fb.At(4, 4), kWhite);  // the copy kept the pre-overwrite pixels
+}
+
 }  // namespace
 }  // namespace thinc

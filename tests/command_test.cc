@@ -25,10 +25,10 @@ void ExpectWireEquivalence(const Command& cmd, int32_t w, int32_t h,
                            const Surface& base) {
   Surface direct = base;
   cmd.Apply(&direct);
-  std::vector<uint8_t> frame = cmd.EncodeFrame();
+  ByteBuffer frame = cmd.EncodeFrame();
   ASSERT_GE(frame.size(), kFrameHeaderBytes);
-  std::unique_ptr<Command> decoded = DecodeCommand(
-      frame[0], std::span<const uint8_t>(frame).subspan(kFrameHeaderBytes));
+  std::unique_ptr<Command> decoded =
+      DecodeCommand(frame[0], frame.view().subspan(kFrameHeaderBytes));
   ASSERT_NE(decoded, nullptr);
   Surface via_wire = base;
   decoded->Apply(&via_wire);
@@ -326,8 +326,8 @@ TEST(DecodeCommandTest, RejectsUnknownType) {
 
 TEST(DecodeCommandTest, RejectsTruncatedRaw) {
   RawCommand cmd(Rect{0, 0, 8, 8}, SolidPixels(64, kWhite));
-  std::vector<uint8_t> frame = cmd.EncodeFrame();
-  std::span<const uint8_t> payload(frame);
+  ByteBuffer frame = cmd.EncodeFrame();
+  std::span<const uint8_t> payload = frame.view();
   payload = payload.subspan(kFrameHeaderBytes);
   payload = payload.subspan(0, payload.size() / 2);
   EXPECT_EQ(DecodeCommand(frame[0], payload), nullptr);
@@ -376,6 +376,113 @@ TEST(CommandCloneTest, ClonesAreIndependent) {
     EXPECT_EQ(clone->type(), cmd->type());
     EXPECT_EQ(clone->overlap(), cmd->overlap());
   }
+}
+
+// --- Encode-cache invalidation -----------------------------------------------
+//
+// RawCommand caches its encoded wire frame (and shares it through the
+// payload-attached cache). Every mutator must invalidate that cache: after
+// encode -> mutate -> re-encode, the bytes must be identical to those of a
+// freshly constructed command with the post-mutation state.
+
+std::vector<uint8_t> Bytes(const ByteBuffer& b) {
+  return std::vector<uint8_t>(b.begin(), b.end());
+}
+
+TEST(RawCommandCacheTest, TranslateInvalidatesEncodedFrame) {
+  Rect r{5, 5, 20, 10};
+  std::vector<Pixel> px = NoisePixels(r.area(), 21);
+  RawCommand cmd(r, px);
+  std::vector<uint8_t> before = Bytes(cmd.EncodeFrame());
+  cmd.Translate(7, 3);
+  std::vector<uint8_t> after = Bytes(cmd.EncodeFrame());
+  EXPECT_NE(before, after);
+  RawCommand fresh(Rect{12, 8, 20, 10}, px);
+  EXPECT_EQ(after, Bytes(fresh.EncodeFrame()));
+}
+
+TEST(RawCommandCacheTest, RestrictToInvalidatesEncodedFrame) {
+  Rect r{0, 0, 16, 16};
+  std::vector<Pixel> px = NoisePixels(r.area(), 22);
+  RawCommand cmd(r, px);
+  std::vector<uint8_t> before = Bytes(cmd.EncodeFrame());
+  ASSERT_TRUE(cmd.RestrictTo(Region(Rect{0, 0, 8, 16})));
+  std::vector<uint8_t> after = Bytes(cmd.EncodeFrame());
+  EXPECT_NE(before, after);
+  RawCommand fresh(r, px);
+  ASSERT_TRUE(fresh.RestrictTo(Region(Rect{0, 0, 8, 16})));
+  EXPECT_EQ(after, Bytes(fresh.EncodeFrame()));
+}
+
+TEST(RawCommandCacheTest, AppendRowsInvalidatesEncodedFrame) {
+  Rect top{5, 2, 10, 2};
+  std::vector<Pixel> top_px = NoisePixels(top.area(), 23);
+  std::vector<Pixel> bottom_px = NoisePixels(10 * 3, 24);
+  RawCommand cmd(top, top_px);
+  std::vector<uint8_t> before = Bytes(cmd.EncodeFrame());
+  ASSERT_TRUE(cmd.TryAppendRows(Rect{5, 4, 10, 3}, bottom_px));
+  std::vector<uint8_t> after = Bytes(cmd.EncodeFrame());
+  EXPECT_NE(before, after);
+  std::vector<Pixel> merged = top_px;
+  merged.insert(merged.end(), bottom_px.begin(), bottom_px.end());
+  RawCommand fresh(Rect{5, 2, 10, 5}, merged);
+  EXPECT_EQ(after, Bytes(fresh.EncodeFrame()));
+}
+
+TEST(RawCommandCacheTest, SplitOffInvalidatesRemainderFrame) {
+  Rect r{0, 0, 64, 64};
+  std::vector<Pixel> px = NoisePixels(r.area(), 25);
+  RawCommand cmd(r, px);
+  cmd.set_compression_enabled(false);
+  std::vector<uint8_t> before = Bytes(cmd.EncodeFrame());
+  std::unique_ptr<Command> head = cmd.SplitOff(8192);
+  ASSERT_NE(head, nullptr);
+  std::vector<uint8_t> after = Bytes(cmd.EncodeFrame());
+  EXPECT_NE(before, after);
+  // The remainder re-encodes to the same bytes as a fresh command with the
+  // same region restriction of the same payload.
+  RawCommand fresh(r, px);
+  fresh.set_compression_enabled(false);
+  ASSERT_TRUE(fresh.RestrictTo(cmd.region()));
+  EXPECT_EQ(after, Bytes(fresh.EncodeFrame()));
+}
+
+TEST(RawCommandCacheTest, CompressionToggleInvalidatesEncodedFrame) {
+  Rect r{0, 0, 80, 60};  // above threshold, compressible
+  RawCommand cmd(r, SolidPixels(r.area(), kWhite));
+  std::vector<uint8_t> compressed = Bytes(cmd.EncodeFrame());
+  cmd.set_compression_enabled(false);
+  std::vector<uint8_t> raw = Bytes(cmd.EncodeFrame());
+  EXPECT_NE(compressed, raw);
+  EXPECT_GT(raw.size(), compressed.size());
+}
+
+TEST(RawCommandCacheTest, CloneMutationDoesNotDisturbOriginal) {
+  Rect r{0, 0, 12, 12};
+  std::vector<Pixel> px = NoisePixels(r.area(), 26);
+  RawCommand cmd(r, px);
+  std::vector<uint8_t> before = Bytes(cmd.EncodeFrame());
+  std::unique_ptr<Command> clone = cmd.Clone();
+  clone->Translate(30, 0);
+  ASSERT_TRUE(clone->RestrictTo(Region(Rect{30, 0, 6, 12})));
+  // The original's cached frame (and payload) are untouched by the clone's
+  // mutations, even though both started out sharing one payload.
+  EXPECT_EQ(before, Bytes(cmd.EncodeFrame()));
+  RawCommand fresh(r, px);
+  EXPECT_EQ(before, Bytes(fresh.EncodeFrame()));
+}
+
+TEST(RawCommandCacheTest, SharedPayloadEncodesOnceForIdenticalGeometry) {
+  SetZeroCopyMode(true);
+  Rect r{0, 0, 32, 32};
+  RawCommand cmd(r, NoisePixels(r.area(), 27));
+  std::vector<uint8_t> original = Bytes(cmd.EncodeFrame());
+  int64_t encodes_before = BufferStats::Get().raw_encodes;
+  std::unique_ptr<Command> clone = cmd.Clone();
+  // Identical geometry: the clone's encode is served from the payload cache
+  // with identical bytes — no second physical encode.
+  EXPECT_EQ(original, Bytes(clone->EncodeFrame()));
+  EXPECT_EQ(BufferStats::Get().raw_encodes, encodes_before);
 }
 
 }  // namespace

@@ -205,5 +205,39 @@ TEST(SessionShareTest, RandomWorkloadManyViewers) {
   }
 }
 
+TEST(SessionShareTest, EncodedFramesSharedAcrossViewers) {
+  // The zero-copy tentpole for session sharing: a RAW frame encoded for one
+  // viewer's connection is reused (cache hit, no re-encode) by the others,
+  // and all viewers still converge to the same screen.
+  SetZeroCopyMode(true);
+  EventLoop loop;
+  SharedSessionHost host(&loop, 128, 96);
+  std::vector<SharedSessionHost::Viewer*> viewers;
+  for (int i = 0; i < 3; ++i) {
+    viewers.push_back(host.AddViewer(LanDesktopLink()));
+  }
+  WindowServer* ws = host.window_server();
+  BufferStats::Get().Reset();
+  // PutImage content goes out as RAW updates to all 3 viewers.
+  Prng rng(31);
+  std::vector<Pixel> image(64 * 48);
+  for (Pixel& p : image) {
+    p = static_cast<Pixel>(rng.Next()) | 0xFF000000;
+  }
+  ws->PutImage(kScreenDrawable, Rect{8, 8, 64, 48}, image);
+  loop.Run();
+
+  const BufferStats& stats = BufferStats::Get();
+  // N viewers, but the frame bytes were produced once and shared: the other
+  // two viewers hit either the flush-level shared cache or the payload
+  // cache instead of re-encoding.
+  EXPECT_GE(stats.frame_cache_hits + stats.payload_encode_hits, 2);
+  for (size_t i = 0; i < viewers.size(); ++i) {
+    int64_t diff = 0;
+    EXPECT_TRUE(ws->screen().Equals(viewers[i]->client->framebuffer(), &diff))
+        << "viewer " << i << ": " << diff;
+  }
+}
+
 }  // namespace
 }  // namespace thinc
