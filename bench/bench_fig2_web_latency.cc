@@ -28,6 +28,32 @@ void RunConfig(const ExperimentConfig& config, const std::vector<SystemKind>& sy
   }
 }
 
+// Telemetry-instrumented THINC run: per-page latency-breakdown table (mean
+// per-update stage times from lifecycle spans) plus a Perfetto-loadable
+// Chrome trace of the whole run.
+void RunBreakdown(const ExperimentConfig& config, int32_t pages,
+                  const char* trace_path) {
+  WebBreakdownResult r =
+      RunThincWebBreakdown(config, ThincServerOptions{}, pages, trace_path);
+  std::printf("\n-- THINC stage breakdown, %s (mean per update, ms) --\n",
+              config.name.c_str());
+  std::printf("%-5s %9s %10s %8s %8s %10s %9s %8s %6s %9s\n", "page", "queue",
+              "encode", "send", "net", "decode", "total", "updates", "hits",
+              "wire_kb");
+  for (size_t i = 0; i < r.pages.size(); ++i) {
+    const StageBreakdown& b = r.pages[i];
+    std::printf("%-5zu %9.3f %10.3f %8.3f %8.3f %10.3f %9.3f %8lld %6lld %9.1f\n",
+                i, b.queue_ms, b.encode_ms, b.send_ms, b.network_ms, b.decode_ms,
+                b.total_ms, static_cast<long long>(b.updates),
+                static_cast<long long>(b.encode_cache_hits),
+                static_cast<double>(b.wire_bytes) / 1024.0);
+  }
+  if (r.trace_written) {
+    std::printf("wrote %s (load in Perfetto or chrome://tracing)\n", trace_path);
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main() {
@@ -40,6 +66,8 @@ int main() {
   RunConfig(WanDesktopConfig(), bench::DesktopSystems(/*include_gotomypc=*/true),
             pages);
   RunConfig(Pda80211gConfig(), bench::PdaSystems(), pages);
+  RunBreakdown(LanDesktopConfig(), pages, "TRACE_fig2_LAN.json");
+  RunBreakdown(WanDesktopConfig(), pages, "TRACE_fig2_WAN.json");
   std::printf(
       "\nPaper shape: THINC fastest in every configuration (up to 1.7x LAN, 4.8x\n"
       "WAN vs others); THINC beats the local PC; X degrades ~2.5x LAN->WAN; NX\n"

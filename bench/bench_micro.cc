@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "bench/bench_common.h"
+#include "src/telemetry/telemetry.h"
 #include "src/codec/hextile.h"
 #include "src/codec/lzss.h"
 #include "src/codec/pnglike.h"
@@ -18,6 +19,7 @@
 #include "src/raster/surface.h"
 #include "src/raster/yuv.h"
 #include "src/baselines/thinc_system.h"
+#include "src/util/logging.h"
 #include "src/util/prng.h"
 #include "src/util/region.h"
 #include "src/workload/web.h"
@@ -203,7 +205,12 @@ struct BufferRun {
 
 BufferRun RunBufferWorkload(bool zero_copy) {
   SetZeroCopyMode(zero_copy);
+  // Phase boundary: A/B sections must never bleed counts into each other —
+  // reset the buffer counters, the metrics registry, and any telemetry
+  // runtime state together.
   BufferStats::Get().Reset();
+  MetricsRegistry::Get().ResetAll();
+  Telemetry::Get().ResetRuntime();
   auto t0 = std::chrono::steady_clock::now();
   EventLoop loop;
   ThincSystem sys(&loop, LanDesktopLink(), 1024, 768);
@@ -266,6 +273,73 @@ void RunBufferSection() {
   }
 }
 
+// --- Telemetry overhead / zero-cost-when-off invariant ------------------------
+
+struct TelemetryRun {
+  int64_t bytes = 0;       // server->client wire bytes
+  SimTime end_time = 0;    // virtual time at quiescence
+  int64_t commands = 0;    // commands applied at the client
+  double wall_secs = 0;
+  size_t spans = 0;
+  size_t trace_events = 0;
+};
+
+TelemetryRun RunTelemetryWorkload(bool telemetry_on) {
+  Telemetry& telemetry = Telemetry::Get();
+  TelemetryConfig cfg;
+  if (telemetry_on) {
+    cfg.spans = true;
+    cfg.chrome_trace = true;
+    cfg.flight_recorder = true;
+  }
+  telemetry.Configure(cfg);
+  telemetry.ResetRuntime();
+  MetricsRegistry::Get().ResetAll();
+  BufferStats::Get().Reset();
+  auto t0 = std::chrono::steady_clock::now();
+  EventLoop loop;
+  ThincSystem sys(&loop, LanDesktopLink(), 1024, 768);
+  WebWorkload workload(1024, 768);
+  for (int32_t p = 0; p < 8; ++p) {
+    workload.RenderPage(sys.api(), p, sys.app_cpu());
+    loop.Run();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  TelemetryRun r;
+  r.bytes = sys.BytesToClient();
+  r.end_time = loop.now();
+  r.commands = sys.client()->commands_applied();
+  r.wall_secs = std::chrono::duration<double>(t1 - t0).count();
+  r.spans = telemetry.spans().size();
+  r.trace_events = telemetry.events().size();
+  telemetry.Configure(TelemetryConfig{});
+  telemetry.ResetRuntime();
+  return r;
+}
+
+void RunTelemetrySection() {
+  bench::PrintHeader("Telemetry: overhead and zero-cost-when-off invariant",
+                     "(8 web pages, LAN link; off vs spans+trace+recorder)");
+  TelemetryRun off = RunTelemetryWorkload(false);
+  TelemetryRun on = RunTelemetryWorkload(true);
+  // The structural invariant: telemetry never touches wire bytes or virtual
+  // time, so a fully instrumented run must be result-identical to a bare one.
+  THINC_CHECK_MSG(on.bytes == off.bytes, "telemetry changed wire bytes");
+  THINC_CHECK_MSG(on.end_time == off.end_time, "telemetry changed virtual time");
+  THINC_CHECK_MSG(on.commands == off.commands, "telemetry changed results");
+  std::printf("off: %8.0f KB wire, vtime %.3f s, %.3f s wall\n",
+              static_cast<double>(off.bytes) / 1024.0,
+              static_cast<double>(off.end_time) / kSecond, off.wall_secs);
+  std::printf("on:  %8.0f KB wire, vtime %.3f s, %.3f s wall  "
+              "(%zu spans, %zu trace events)\n",
+              static_cast<double>(on.bytes) / 1024.0,
+              static_cast<double>(on.end_time) / kSecond, on.wall_secs, on.spans,
+              on.trace_events);
+  std::printf("invariant held: identical wire bytes and virtual time; "
+              "wall-clock overhead %.2fx\n",
+              off.wall_secs > 0 ? on.wall_secs / off.wall_secs : 0.0);
+}
+
 }  // namespace
 }  // namespace thinc
 
@@ -277,5 +351,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   thinc::RunBufferSection();
+  thinc::RunTelemetrySection();
   return 0;
 }

@@ -32,6 +32,13 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   cmake --preset default >/dev/null
   cmake --build --preset default -j "$JOBS"
   ctest --preset default
+
+  # Telemetry smoke: bench_micro's non-benchmark sections run a web workload
+  # with all telemetry facilities off and again with them on, and THINC_CHECK
+  # that wire bytes, virtual end time, and applied commands are identical —
+  # the "telemetry can never change results" invariant, end to end.
+  echo "== telemetry smoke: bench_micro invariant sections =="
+  ./build/bench/bench_micro --benchmark_filter='^$'
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

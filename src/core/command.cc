@@ -222,6 +222,7 @@ std::unique_ptr<Command> RawCommand::SplitOff(size_t max_bytes) {
   auto split = std::make_unique<RawCommand>(rect_, pixels_.Share());
   split->region_ = std::move(head);
   split->compression_enabled_ = compression_enabled_;
+  split->set_trace_id(trace_id());  // same update, another wire frame
   split->InvalidateCache();
   region_ = std::move(tail);
   InvalidateCache();

@@ -92,11 +92,19 @@ class Command {
   int64_t schedule_seq() const { return schedule_seq_; }
   void set_schedule_seq(int64_t seq) { schedule_seq_ = seq; }
 
+  // Telemetry lifecycle span id (0 = untraced). Assigned when the command
+  // enters the update scheduler with spans enabled; a SplitOff() part keeps
+  // the parent's id (one update, several wire frames), while Clone() does
+  // not carry it (a clone is a new piece of work).
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
  protected:
   virtual ByteBuffer EncodeFrameInto(FrameArena* arena) const = 0;
 
  private:
   int64_t schedule_seq_ = -1;
+  uint64_t trace_id_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -22,6 +23,12 @@ void CommandQueue::EvictOverwritten(std::deque<std::unique_ptr<Command>>* queue,
       // Partial and transparent commands are clipped to what remains
       // visible.
       keep = existing.RestrictTo(existing.region().Subtract(incoming));
+    }
+    if (!keep) {
+      static Counter* evicted =
+          MetricsRegistry::Get().GetCounter("queue.evicted_commands");
+      evicted->Inc();
+      Telemetry::Get().MarkEvicted(existing.trace_id());
     }
     it = keep ? it + 1 : queue->erase(it);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -137,6 +138,16 @@ void UpdateScheduler::Insert(std::unique_ptr<Command> cmd, SimTime now,
                              int min_band) {
   THINC_CHECK(!cmd->region().empty());
   AssignSeq(cmd.get());
+  static Counter* inserted = MetricsRegistry::Get().GetCounter("sched.inserted");
+  inserted->Inc();
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.spans_on() && cmd->trace_id() == 0) {
+    // Entry into the client buffer is where an update's lifecycle starts;
+    // translation happens in the same loop turn, so this stamp doubles as
+    // the driver-interception time.
+    cmd->set_trace_id(telemetry.NewUpdateSpan(static_cast<uint8_t>(cmd->type()),
+                                              telemetry_pid_, now));
+  }
   const int planned = PlannedBand(*cmd, now);
   if (cmd->overlap() != OverlapClass::kTransparent) {
     Evict(cmd->region());

@@ -98,6 +98,10 @@ class UpdateScheduler {
   // Which band a command of `bytes` maps to (exposed for tests).
   static int BandFor(size_t bytes);
 
+  // Telemetry host (Chrome-trace pid) that lifecycle spans created by this
+  // scheduler are attributed to. 0 until the owning server registers one.
+  void set_telemetry_pid(int pid) { telemetry_pid_ = pid; }
+
  private:
   bool IsRealtime(const Command& cmd, SimTime now) const;
   // Placement by overlap class (band-0 invariant for kComplete, dependency
@@ -112,6 +116,7 @@ class UpdateScheduler {
   void Evict(const Region& incoming);
 
   SchedulerOptions options_;
+  int telemetry_pid_ = 0;
   int64_t next_seq_ = 0;
   std::array<std::deque<std::unique_ptr<Command>>, kNumBands> bands_;
   std::deque<std::unique_ptr<Command>> realtime_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -197,6 +198,8 @@ SharedSessionHost::Viewer* SharedSessionHost::AddViewer(
   // Late joiners catch up with the session's current contents.
   viewer->server->SendFullRefresh();
   viewers_.push_back(std::move(viewer));
+  static Gauge* viewers = MetricsRegistry::Get().GetGauge("share.viewers");
+  viewers->Set(static_cast<int64_t>(viewers_.size()));
   return viewers_.back().get();
 }
 
@@ -207,6 +210,8 @@ void SharedSessionHost::RemoveViewer(Viewer* viewer) {
                                   return v.get() == viewer;
                                 }),
                  viewers_.end());
+  MetricsRegistry::Get().GetGauge("share.viewers")->Set(
+      static_cast<int64_t>(viewers_.size()));
 }
 
 void SharedSessionHost::SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -22,6 +23,12 @@ ThincClient::ThincClient(EventLoop* loop, Connection* conn, CpuAccount* cpu,
   if (options_.encrypt) {
     tx_cipher_.emplace(kTransportKey);
     rx_cipher_.emplace(kTransportKey);
+  }
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.active()) {
+    telemetry_pid_ = telemetry.RegisterHostAuto("thinc-client");
+    telemetry.NameThread(telemetry_pid_, 1, "net");
+    telemetry.NameThread(telemetry_pid_, 2, "decode");
   }
   BindConnection();
   if (options_.client_pull) {
@@ -77,9 +84,10 @@ bool ThincClient::SendFrame(std::vector<uint8_t> frame) {
   return true;
 }
 
-void ThincClient::ChargeAndStamp(double cost_us) {
+SimTime ThincClient::ChargeAndStamp(double cost_us) {
   SimTime done = cpu_->Charge(cost_us);
   last_processed_at_ = std::max(last_processed_at_, done);
+  return done;
 }
 
 void ThincClient::SendInput(Point location, int32_t button) {
@@ -168,6 +176,14 @@ void ThincClient::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
     case MsgType::kSfill:
     case MsgType::kPfill:
     case MsgType::kBitmap: {
+      // Pop the out-of-band trace id first (even for malformed frames, so
+      // the channel stays aligned with the server's commit order).
+      Telemetry& telemetry = Telemetry::Get();
+      const uint64_t trace_id =
+          telemetry.spans_on() ? telemetry.PopWireTrace(conn_) : 0;
+      if (trace_id != 0) {
+        telemetry.StampDelivered(trace_id, telemetry_pid_, loop_->now());
+      }
       std::unique_ptr<Command> cmd = DecodeCommand(type, payload);
       if (cmd == nullptr) {
         return;  // malformed frame: drop, never crash
@@ -176,12 +192,19 @@ void ThincClient::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
         std::fprintf(stderr, "client apply type=%d region=%s\n", type,
                      cmd->region().ToString().c_str());
       }
-      ChargeAndStamp(cpucost::kDecodePerByte * static_cast<double>(payload.size()));
+      SimTime done = ChargeAndStamp(cpucost::kDecodePerByte *
+                                    static_cast<double>(payload.size()));
+      if (trace_id != 0) {
+        telemetry.StampDecoded(trace_id, done);
+      }
       if (!options_.headless) {
         cmd->Apply(&framebuffer_);
         // Fill/copy operations run on the display hardware; charge a token
         // cost per pixel touched.
-        ChargeAndStamp(0.001 * static_cast<double>(cmd->region().Area()));
+        done = ChargeAndStamp(0.001 * static_cast<double>(cmd->region().Area()));
+      }
+      if (trace_id != 0) {
+        telemetry.StampDamaged(trace_id, done);
       }
       ++commands_applied_;
       pull_outstanding_ = false;

@@ -99,7 +99,9 @@ class ThincClient {
  private:
   void OnReceive(std::span<const uint8_t> data);
   void HandleFrame(uint8_t type, std::span<const uint8_t> payload);
-  void ChargeAndStamp(double cost_us);
+  // Charges client CPU, folds the completion time into last_processed_at_,
+  // and returns it (telemetry stamps decode/damage with it).
+  SimTime ChargeAndStamp(double cost_us);
   void MaybeRearmPull();
   // Wires receive/closed callbacks to the current connection (with a stale-
   // connection guard on the closed callback).
@@ -127,6 +129,10 @@ class ThincClient {
 
   bool pull_outstanding_ = false;
   bool pull_rearm_scheduled_ = false;
+
+  // Chrome-trace pid of this simulated client host (0 when telemetry was
+  // inactive at construction).
+  int telemetry_pid_ = 0;
 
   // Reconnect state.
   bool connected_ = true;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/raster/fant.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/buffer.h"
 #include "src/util/logging.h"
 
@@ -30,6 +31,16 @@ ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
     tx_cipher_.emplace(kTransportKey);
     rx_cipher_.emplace(kTransportKey);
   }
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.active()) {
+    // One Chrome-trace pid per simulated server host, one tid per
+    // subsystem. (Configure telemetry before constructing systems.)
+    telemetry_pid_ = telemetry.RegisterHostAuto("thinc-server");
+    telemetry.NameThread(telemetry_pid_, 2, "queue");
+    telemetry.NameThread(telemetry_pid_, 3, "encode");
+    telemetry.NameThread(telemetry_pid_, 4, "send");
+    scheduler_.set_telemetry_pid(telemetry_pid_);
+  }
   BindConnection();
 }
 
@@ -46,6 +57,10 @@ void ThincServer::BindConnection() {
 
 void ThincServer::OnConnectionClosed() {
   connected_ = false;
+  // Trace ids of frames committed to (but not decoded from) the dead
+  // transport die with it.
+  Telemetry::Get().DropWireChannel(conn_);
+  pending_trace_id_ = 0;
   // Everything tied to the dead transport is dropped: a partially
   // transmitted frame can never be completed on a new connection (the resync
   // refresh covers its content), and buffered media is stale by the time a
@@ -77,6 +92,10 @@ void ThincServer::Attach(Connection* conn) {
   pending_shared_wait_ = false;
   pending_frame_ = ByteBuffer();
   pending_cursor_ = 0;
+  pending_trace_id_ = 0;
+  // The fresh transport must start with an empty trace channel even if this
+  // Connection object served a previous life.
+  Telemetry::Get().DropWireChannel(conn_);
   update_requested_ = false;
   audio_queue_.clear();
   video_queue_.clear();
@@ -564,9 +583,20 @@ void ThincServer::Flush() {
   while (true) {
     // 1. Finish any partially committed frame first (stream coherence).
     if (!pending_frame_.empty()) {
-      committed += CommitBytes(pending_frame_, &pending_cursor_);
+      size_t n = CommitBytes(pending_frame_, &pending_cursor_);
+      committed += n;
+      if (pending_trace_id_ != 0 && n > 0) {
+        Telemetry::Get().StampCommit(pending_trace_id_, now,
+                                     static_cast<int64_t>(n));
+      }
       if (pending_cursor_ < pending_frame_.size()) {
         return;  // socket full; writable callback resumes us
+      }
+      if (pending_trace_id_ != 0) {
+        Telemetry& telemetry = Telemetry::Get();
+        telemetry.NoteFrameCommitted(pending_trace_id_, now);
+        telemetry.PushWireTrace(conn_, pending_trace_id_);
+        pending_trace_id_ = 0;
       }
       pending_frame_ = ByteBuffer();
       pending_cursor_ = 0;
@@ -586,16 +616,26 @@ void ThincServer::Flush() {
             pending_->type() == MsgType::kRaw) {
           pending_cache_key_ =
               static_cast<RawCommand*>(pending_.get())->SharedContentKey();
+          static Counter* lookups =
+              MetricsRegistry::Get().GetCounter("share.lookups");
+          static Counter* hits = MetricsRegistry::Get().GetCounter("share.hits");
+          static Counter* waits = MetricsRegistry::Get().GetCounter("share.waits");
+          lookups->Inc();
           ByteBuffer cached = options_.shared_frame_cache->Lookup(pending_cache_key_);
           if (!cached.empty()) {
+            hits->Inc();
             pending_frame_ = std::move(cached);
             pending_cursor_ = 0;
+            pending_trace_id_ = pending_->trace_id();
+            Telemetry::Get().StampEncode(pending_trace_id_, now, now,
+                                         /*cache_hit=*/true);
             pending_.reset();
             continue;
           }
           int64_t other_ready =
               options_.shared_frame_cache->PendingEncodeReady(pending_cache_key_);
           if (other_ready >= now) {
+            waits->Inc();
             pending_ready_ = other_ready;
             pending_prepared_ = true;
             pending_shared_wait_ = true;
@@ -603,6 +643,7 @@ void ThincServer::Flush() {
         }
         if (!pending_prepared_) {
           double cost = pending_->EncodeCpuCost();
+          pending_encode_start_ = now;
           pending_ready_ = cpu_->Charge(cost);
           pending_prepared_ = true;
           if (pending_->type() == MsgType::kRaw) {
@@ -627,6 +668,9 @@ void ThincServer::Flush() {
         if (!cached.empty()) {
           pending_frame_ = std::move(cached);
           pending_cursor_ = 0;
+          pending_trace_id_ = pending_->trace_id();
+          Telemetry::Get().StampEncode(pending_trace_id_, now, now,
+                                       /*cache_hit=*/true);
           pending_.reset();
           pending_prepared_ = false;
           continue;
@@ -634,6 +678,7 @@ void ThincServer::Flush() {
         // The encoding server never delivered (reset, or its entry was
         // evicted): encode ourselves after all.
         double cost = pending_->EncodeCpuCost();
+        pending_encode_start_ = now;
         pending_ready_ = cpu_->Charge(cost);
         ++BufferStats::Get().encode_charges;
         options_.shared_frame_cache->NoteEncodeStarted(pending_cache_key_,
@@ -643,15 +688,36 @@ void ThincServer::Flush() {
           return;
         }
       }
+      const BufferStats& stats = BufferStats::Get();
+      const int64_t cache_hits_before =
+          stats.payload_encode_hits + stats.frame_cache_hits;
       ByteBuffer frame = pending_->EncodeFrame(&arena_);
+      if (pending_->trace_id() != 0) {
+        const bool cache_hit =
+            stats.payload_encode_hits + stats.frame_cache_hits >
+            cache_hits_before;
+        Telemetry::Get().StampEncode(
+            pending_->trace_id(), pending_encode_start_,
+            std::max(pending_encode_start_, pending_ready_), cache_hit);
+      }
       if (options_.shared_frame_cache != nullptr && !pending_cache_key_.empty()) {
+        static Counter* stores = MetricsRegistry::Get().GetCounter("share.stores");
+        stores->Inc();
         options_.shared_frame_cache->Store(pending_cache_key_, frame.Share());
       }
       size_t space = conn_->FreeSpace(Connection::kServer);
       if (frame.size() <= space) {
         size_t cursor = 0;
-        committed += CommitBytes(frame, &cursor);
+        size_t n = CommitBytes(frame, &cursor);
+        committed += n;
         THINC_CHECK(cursor == frame.size());
+        if (pending_->trace_id() != 0) {
+          Telemetry& telemetry = Telemetry::Get();
+          telemetry.StampCommit(pending_->trace_id(), now,
+                                static_cast<int64_t>(n));
+          telemetry.NoteFrameCommitted(pending_->trace_id(), now);
+          telemetry.PushWireTrace(conn_, pending_->trace_id());
+        }
         pending_.reset();
         pending_prepared_ = false;
         continue;
@@ -662,6 +728,7 @@ void ThincServer::Flush() {
       if (part != nullptr) {
         pending_frame_ = part->EncodeFrame(&arena_);
         pending_cursor_ = 0;
+        pending_trace_id_ = part->trace_id();
         scheduler_.Reinsert(std::move(pending_));
         pending_prepared_ = false;
         continue;
@@ -669,6 +736,7 @@ void ThincServer::Flush() {
       // Unsplittable: stream its bytes progressively.
       pending_frame_ = std::move(frame);
       pending_cursor_ = 0;
+      pending_trace_id_ = pending_->trace_id();
       pending_.reset();
       pending_prepared_ = false;
       continue;
@@ -693,6 +761,9 @@ void ThincServer::Flush() {
     }
     pending_ = std::move(cmd);
     pending_prepared_ = false;
+    if (pending_->trace_id() != 0) {
+      Telemetry::Get().StampPicked(pending_->trace_id(), now);
+    }
   }
   // In pull mode a request stays armed until it has been answered with at
   // least some data; once everything buffered has gone out, it's satisfied.

@@ -213,6 +213,11 @@ class ThincServer : public DisplayDriver {
   size_t pending_cursor_ = 0;
   bool pending_prepared_ = false;
   SimTime pending_ready_ = 0;
+  SimTime pending_encode_start_ = 0;  // when the encode CPU charge began
+  // Telemetry span of the frame in pending_frame_ (0 for media/control);
+  // pushed onto the connection's wire-trace channel when the frame's last
+  // byte is committed.
+  uint64_t pending_trace_id_ = 0;
   std::string pending_cache_key_;  // shared-frame-cache key of pending_
   // True while idling for another viewer's in-flight encode of the same key.
   bool pending_shared_wait_ = false;
@@ -226,6 +231,10 @@ class ThincServer : public DisplayDriver {
   std::optional<Rc4Cipher> rx_cipher_;
   FrameParser parser_;
   InputFn input_handler_;
+
+  // Chrome-trace pid of this simulated server host (0 when telemetry was
+  // inactive at construction).
+  int telemetry_pid_ = 0;
 
   // Reconnect state.
   bool connected_ = true;

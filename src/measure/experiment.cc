@@ -10,6 +10,7 @@
 #include "src/baselines/thinc_system.h"
 #include "src/baselines/x_system.h"
 #include "src/core/audio.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 #include "src/workload/video.h"
 #include "src/workload/web.h"
@@ -215,6 +216,97 @@ WebRunResult RunThincWebVariant(const ExperimentConfig& config,
     extras->server_cpu_busy = sys.app_cpu()->total_busy();
     extras->video_frames_dropped = sys.server()->video_frames_dropped();
   }
+  return result;
+}
+
+WebBreakdownResult RunThincWebBreakdown(const ExperimentConfig& config,
+                                        const ThincServerOptions& options,
+                                        int32_t page_count,
+                                        const std::string& trace_json_path) {
+  Telemetry& telemetry = Telemetry::Get();
+  const TelemetryConfig previous = telemetry.config();
+  TelemetryConfig tcfg;
+  tcfg.spans = true;
+  tcfg.chrome_trace = !trace_json_path.empty();
+  telemetry.Configure(tcfg);
+  telemetry.ResetRuntime();
+
+  // Mirrors RunWebOn, with per-page span watermarks: every span created
+  // between a page's click and its quiescence belongs to that page.
+  EventLoop loop;
+  ThincSystem sys(&loop, config.link, config.screen_width, config.screen_height,
+                  options);
+  if (config.viewport.has_value()) {
+    sys.SetViewport(config.viewport->x, config.viewport->y);
+    loop.Run();
+  }
+  WebWorkload workload(config.screen_width, config.screen_height);
+  int32_t current_page = 0;
+  sys.SetInputCallback([&sys, &workload, &current_page](Point) {
+    sys.FetchContent(workload.page(current_page).content_bytes);
+    workload.RenderPage(sys.api(), current_page, sys.app_cpu());
+  });
+
+  WebBreakdownResult result;
+  result.web.system = "THINC*";
+  result.web.config = config.name;
+  page_count = std::min<int32_t>(page_count, workload.page_count());
+  for (int32_t i = 0; i < page_count; ++i) {
+    loop.RunUntil(loop.now() + 300 * kMillisecond);
+    current_page = i;
+    const size_t span_mark = telemetry.spans().size();
+    const SimTime t0 = loop.now();
+    const int64_t b0 = sys.BytesToClient();
+    sys.ClientClick(workload.LinkPosition(i));
+    loop.Run();
+
+    PageResult page;
+    const SimTime net_done = std::max(t0, sys.LastDeliveryToClient());
+    const SimTime all_done = std::max(net_done, sys.ClientLastProcessedAt());
+    page.latency_ms = static_cast<double>(net_done - t0) / kMillisecond;
+    page.latency_with_client_ms =
+        static_cast<double>(all_done - t0) / kMillisecond;
+    page.bytes = sys.BytesToClient() - b0;
+    result.web.pages.push_back(page);
+
+    StageBreakdown sb;
+    const std::vector<UpdateSpan>& spans = telemetry.spans();
+    for (size_t s = span_mark; s < spans.size(); ++s) {
+      const UpdateSpan& span = spans[s];
+      if (!span.completed()) {
+        continue;  // evicted before sending, or still buffered
+      }
+      sb.queue_ms += static_cast<double>(span.picked.ts - span.queued.ts);
+      sb.encode_ms += static_cast<double>(span.encode_us);
+      sb.send_ms +=
+          static_cast<double>(span.commit_last.ts - span.commit_first.ts);
+      sb.network_ms +=
+          static_cast<double>(span.delivered.ts - span.commit_last.ts);
+      sb.decode_ms += static_cast<double>(span.damaged.ts - span.delivered.ts);
+      sb.total_ms += static_cast<double>(span.damaged.ts - span.queued.ts);
+      sb.wire_bytes += span.wire_bytes;
+      if (span.encode_cache_hit) {
+        ++sb.encode_cache_hits;
+      }
+      ++sb.updates;
+    }
+    if (sb.updates > 0) {
+      const double n = static_cast<double>(sb.updates) * kMillisecond;
+      sb.queue_ms /= n;
+      sb.encode_ms /= n;
+      sb.send_ms /= n;
+      sb.network_ms /= n;
+      sb.decode_ms /= n;
+      sb.total_ms /= n;
+    }
+    result.pages.push_back(sb);
+  }
+
+  if (!trace_json_path.empty()) {
+    result.trace_written = telemetry.WriteChromeTrace(trace_json_path);
+  }
+  telemetry.Configure(previous);
+  telemetry.ResetRuntime();
   return result;
 }
 

@@ -116,6 +116,40 @@ AvRunResult RunThincAvVariant(const ExperimentConfig& config,
                               bool skip_viewport = false,
                               ThincVariantExtras* extras = nullptr);
 
+// --- Telemetry-instrumented web run (Fig. 2 latency breakdown) ------------------
+
+// Mean per-update stage latencies for one page, computed from completed
+// lifecycle spans (see DESIGN.md §10): queue (scheduler insert -> flush
+// pick), encode (CPU charge), send (first -> last byte on the socket),
+// network (last byte committed -> delivered), decode (delivered -> applied).
+struct StageBreakdown {
+  double queue_ms = 0;
+  double encode_ms = 0;
+  double send_ms = 0;
+  double network_ms = 0;
+  double decode_ms = 0;
+  double total_ms = 0;  // scheduler insert -> client framebuffer damage
+  int64_t updates = 0;  // completed spans this page
+  int64_t encode_cache_hits = 0;
+  int64_t wire_bytes = 0;
+};
+
+struct WebBreakdownResult {
+  WebRunResult web;
+  std::vector<StageBreakdown> pages;  // parallel to web.pages
+  bool trace_written = false;
+};
+
+// Runs the web benchmark on THINC with lifecycle spans enabled and returns
+// per-page stage breakdowns alongside the usual results. When
+// `trace_json_path` is non-empty, also enables Chrome-trace retention and
+// writes a Perfetto-loadable trace of the whole run there. The previous
+// telemetry configuration is restored before returning.
+WebBreakdownResult RunThincWebBreakdown(const ExperimentConfig& config,
+                                        const ThincServerOptions& options,
+                                        int32_t page_count,
+                                        const std::string& trace_json_path = "");
+
 // --- Network characterization ------------------------------------------------------
 
 // Bulk-transfer throughput measurement over `link` (the Iperf of Section 8.3).

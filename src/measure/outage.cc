@@ -4,6 +4,7 @@
 
 #include "src/baselines/thinc_system.h"
 #include "src/raster/fant.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 #include "src/workload/web.h"
 
@@ -37,6 +38,17 @@ int64_t CountMismatches(const Surface& client_fb, const Surface& screen) {
 
 OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
                                        const OutageScenarioOptions& options) {
+  // Robustness scenarios run with the flight recorder armed: the injected
+  // reset auto-dumps the span timeline leading up to the fault (and a
+  // THINC_CHECK failure anywhere in the scenario would dump it too).
+  Telemetry& telemetry = Telemetry::Get();
+  const TelemetryConfig previous = telemetry.config();
+  TelemetryConfig tcfg = previous;
+  tcfg.spans = true;
+  tcfg.flight_recorder = true;
+  telemetry.Configure(tcfg);
+  telemetry.ResetRuntime();
+
   EventLoop loop;
   ThincSystem sys(&loop, config.link, config.screen_width, config.screen_height);
   if (config.viewport.has_value()) {
@@ -128,6 +140,8 @@ OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
   result.mismatched_pixels =
       CountMismatches(sys.client()->framebuffer(), sys.window_server()->screen());
   result.resynced = result.mismatched_pixels == 0;
+  telemetry.Configure(previous);
+  telemetry.ResetRuntime();
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
 namespace thinc {
@@ -94,6 +95,11 @@ void Connection::SetLinkParams(int64_t bandwidth_bps, SimTime rtt) {
   if (rtt >= 0) {
     params_.rtt = rtt;
   }
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Record("net.link.degrade", loop_->now(), params_.bandwidth_bps,
+                   params_.rtt);
+  telemetry.InstantArg(0, 1, "link degrade", loop_->now(), "bandwidth_bps",
+                       params_.bandwidth_bps);
 }
 
 void Connection::BeginOutage() {
@@ -101,6 +107,9 @@ void Connection::BeginOutage() {
     return;
   }
   outage_ = true;
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Record("net.outage.begin", loop_->now());
+  telemetry.Instant(0, 1, "outage begin", loop_->now());
 }
 
 void Connection::EndOutage() {
@@ -108,6 +117,10 @@ void Connection::EndOutage() {
     return;
   }
   outage_ = false;
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Record("net.outage.end", loop_->now(),
+                   static_cast<int64_t>(frozen_.size()));
+  telemetry.Instant(0, 1, "outage end", loop_->now());
   // Replay frozen deliveries/acks in their original firing order; each goes
   // back through RunOrFreeze so a second outage (or a reset) starting before
   // the replay fires is still honored.
@@ -133,6 +146,18 @@ void Connection::Reset() {
   }
   closed_ = true;
   ++epoch_;
+  {
+    static Counter* resets = MetricsRegistry::Get().GetCounter("net.resets");
+    resets->Inc();
+    Telemetry& telemetry = Telemetry::Get();
+    telemetry.Record("net.reset", loop_->now());
+    telemetry.Instant(0, 1, "connection reset", loop_->now());
+    if (telemetry.recorder_on()) {
+      // A reset is the robustness event the flight recorder exists for:
+      // dump the timeline leading up to it.
+      telemetry.DumpFlightRecorder(stderr, "connection reset");
+    }
+  }
   frozen_.clear();
   for (Direction& d : dirs_) {
     d.send_buffer.Clear();
@@ -261,6 +286,15 @@ void Connection::Pump(int from) {
         dir.last_delivery = loop_->now();
         dir.trace.push_back(
             TraceRecord{loop_->now(), static_cast<int64_t>(payload.size())});
+        static Counter* delivered =
+            MetricsRegistry::Get().GetCounter("net.delivered_bytes");
+        static Counter* segments =
+            MetricsRegistry::Get().GetCounter("net.segments");
+        static Histogram* seg_bytes = MetricsRegistry::Get().GetHistogram(
+            "net.segment_bytes", Histogram::ExponentialBounds(64, 2.0, 6));
+        delivered->Inc(static_cast<int64_t>(payload.size()));
+        segments->Inc();
+        seg_bytes->Observe(static_cast<int64_t>(payload.size()));
         if (dir.receive) {
           dir.receive(payload);
         }

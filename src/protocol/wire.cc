@@ -6,6 +6,38 @@
 
 namespace thinc {
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kRaw:
+      return "RAW";
+    case MsgType::kCopy:
+      return "COPY";
+    case MsgType::kSfill:
+      return "SFILL";
+    case MsgType::kPfill:
+      return "PFILL";
+    case MsgType::kBitmap:
+      return "BITMAP";
+    case MsgType::kVideoSetup:
+      return "VIDEO_SETUP";
+    case MsgType::kVideoFrame:
+      return "VIDEO_FRAME";
+    case MsgType::kVideoMove:
+      return "VIDEO_MOVE";
+    case MsgType::kVideoTeardown:
+      return "VIDEO_TEARDOWN";
+    case MsgType::kAudio:
+      return "AUDIO";
+    case MsgType::kResizeViewport:
+      return "RESIZE_VIEWPORT";
+    case MsgType::kInput:
+      return "INPUT";
+    case MsgType::kUpdateRequest:
+      return "UPDATE_REQUEST";
+  }
+  return "?";
+}
+
 WireWriter::WireWriter(MsgType type, FrameArena* arena) : frame_mode_(true) {
   if (arena != nullptr) {
     slab_ = arena->Acquire();

@@ -44,6 +44,13 @@ enum class MsgType : uint8_t {
 
 constexpr size_t kFrameHeaderBytes = 5;  // u8 type + u32 length
 
+// Stable short name ("RAW", "SFILL", "VIDEO_FRAME", ...) for telemetry
+// labels and trace exports; "?" for values outside the enum.
+const char* MsgTypeName(MsgType type);
+inline const char* MsgTypeName(uint8_t type) {
+  return MsgTypeName(static_cast<MsgType>(type));
+}
+
 // Append-only little-endian writer.
 //
 // Two modes:

@@ -4,6 +4,8 @@
 
 namespace thinc {
 
+uint64_t EventLoop::global_seq_ = 0;
+
 EventLoop::EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
@@ -33,6 +35,8 @@ size_t EventLoop::RunUntil(SimTime deadline) {
     now_ = it->first.when;
     std::function<void()> fn = std::move(it->second);
     queue_.erase(it);
+    ++global_seq_;
+    ++fired_count_;
     fn();
     ++fired;
   }
@@ -50,6 +54,8 @@ bool EventLoop::Step() {
   now_ = it->first.when;
   std::function<void()> fn = std::move(it->second);
   queue_.erase(it);
+  ++global_seq_;
+  ++fired_count_;
   fn();
   return true;
 }

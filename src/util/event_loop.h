@@ -53,6 +53,16 @@ class EventLoop {
   bool has_pending() const { return !queue_.empty(); }
   size_t pending_count() const { return queue_.size(); }
 
+  // Events fired by THIS loop.
+  uint64_t fired_count() const { return fired_count_; }
+
+  // Monotonically increasing sequence of fired events, shared across every
+  // loop in the process (the simulation is single-threaded). Incremented
+  // just before each event's callback runs; 0 before any event has fired.
+  // Telemetry attaches it to each timestamp so records taken at the same
+  // virtual time order deterministically in trace exports.
+  static uint64_t current_seq() { return global_seq_; }
+
  private:
   struct Key {
     SimTime when;
@@ -64,7 +74,10 @@ class EventLoop {
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  uint64_t fired_count_ = 0;
   std::map<Key, std::function<void()>> queue_;
+
+  static uint64_t global_seq_;
 };
 
 }  // namespace thinc

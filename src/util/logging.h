@@ -11,11 +11,21 @@
 
 namespace thinc {
 
+// Invoked (when set) just before a failed check aborts — the telemetry
+// flight recorder installs itself here to dump its timeline. A function
+// pointer (not std::function) so util carries no link-time dependency on
+// whoever installs it.
+inline void (*g_check_failure_hook)(const char* file, int line,
+                                    const char* cond) = nullptr;
+
 #define THINC_CHECK(cond)                                                          \
   do {                                                                             \
     if (!(cond)) {                                                                 \
       std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
                    #cond);                                                         \
+      if (::thinc::g_check_failure_hook != nullptr) {                              \
+        ::thinc::g_check_failure_hook(__FILE__, __LINE__, #cond);                  \
+      }                                                                            \
       std::abort();                                                                \
     }                                                                              \
   } while (0)
@@ -25,6 +35,9 @@ namespace thinc {
     if (!(cond)) {                                                                 \
       std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
                    #cond, msg);                                                    \
+      if (::thinc::g_check_failure_hook != nullptr) {                              \
+        ::thinc::g_check_failure_hook(__FILE__, __LINE__, #cond);                  \
+      }                                                                            \
       std::abort();                                                                \
     }                                                                              \
   } while (0)

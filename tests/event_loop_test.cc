@@ -42,6 +42,40 @@ TEST(EventLoopTest, SameTimeFifoByScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventLoopTest, FiredEventsAdvanceGlobalSequence) {
+  EventLoop loop;
+  const uint64_t seq0 = EventLoop::current_seq();
+  std::vector<uint64_t> seqs;
+  // Three events at the SAME virtual time still get strictly increasing
+  // sequence numbers — telemetry relies on this to order same-timestamp
+  // records deterministically.
+  loop.Schedule(10, [&] { seqs.push_back(EventLoop::current_seq()); });
+  loop.Schedule(10, [&] { seqs.push_back(EventLoop::current_seq()); });
+  loop.Schedule(10, [&] { seqs.push_back(EventLoop::current_seq()); });
+  loop.Run();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_GT(seqs[0], seq0);
+  EXPECT_LT(seqs[0], seqs[1]);
+  EXPECT_LT(seqs[1], seqs[2]);
+  EXPECT_EQ(loop.fired_count(), 3u);
+}
+
+TEST(EventLoopTest, GlobalSequenceSpansLoops) {
+  // The sequence is global (one timeline per process), so records taken in
+  // different loops never collide.
+  EventLoop a;
+  uint64_t seq_a = 0;
+  a.Schedule(5, [&] { seq_a = EventLoop::current_seq(); });
+  a.Run();
+  EventLoop b;
+  uint64_t seq_b = 0;
+  b.Schedule(5, [&] { seq_b = EventLoop::current_seq(); });
+  b.Run();
+  EXPECT_GT(seq_b, seq_a);
+  EXPECT_EQ(a.fired_count(), 1u);
+  EXPECT_EQ(b.fired_count(), 1u);
+}
+
 TEST(EventLoopTest, EventsCanScheduleEvents) {
   EventLoop loop;
   int count = 0;
