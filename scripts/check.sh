@@ -25,7 +25,7 @@ esac
 # Tests exercising the zero-copy buffer architecture end to end: buffer
 # primitives, command encode caches, offscreen queue-copy CoW, shared-session
 # frame reuse, and the segment-queue send path.
-SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress'
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet'
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== tier-1: default preset build + full ctest =="
@@ -39,6 +39,12 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # the "telemetry can never change results" invariant, end to end.
   echo "== telemetry smoke: bench_micro invariant sections =="
   ./build/bench/bench_micro --benchmark_filter='^$'
+
+  # Fleet smoke: an 8-session multi-tenant host run twice, with telemetry
+  # fully off and fully on; THINC_CHECKs that wire bytes and virtual end
+  # time are identical (shared-CPU/NIC arbitration must be unperturbed).
+  echo "== fleet smoke: bench_fleet_capacity --smoke =="
+  ./build/bench/bench_fleet_capacity --smoke
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/codec/pnglike.h"
+#include "src/raster/fant.h"
 #include "src/util/cpu.h"
 #include "src/util/logging.h"
 
@@ -176,7 +177,34 @@ std::unique_ptr<Command> RawCommand::Clone() const {
   auto clone = std::make_unique<RawCommand>(rect_, pixels_.Share());
   clone->region_ = region_;
   clone->compression_enabled_ = compression_enabled_;
+  clone->fidelity_degraded_ = fidelity_degraded_;
   return clone;
+}
+
+bool RawCommand::SubsampleFidelity(int32_t factor) {
+  if (factor <= 1 || fidelity_degraded_ ||
+      rect_.area() < kCompressThresholdPixels) {
+    return false;
+  }
+  const int32_t dw = rect_.width / factor;
+  const int32_t dh = rect_.height / factor;
+  if (dw < 1 || dh < 1 || (dw == rect_.width && dh == rect_.height)) {
+    return false;
+  }
+  fidelity_degraded_ = true;
+  Surface full(rect_.width, rect_.height);
+  full.PutPixels(Rect{0, 0, rect_.width, rect_.height}, pixels_.view());
+  Surface low = FantResample(full, dw, dh);
+  std::vector<Pixel>& px = pixels_.Mutate();
+  for (int32_t y = 0; y < rect_.height; ++y) {
+    const int32_t sy = std::min(dh - 1, y * dh / rect_.height);
+    for (int32_t x = 0; x < rect_.width; ++x) {
+      const int32_t sx = std::min(dw - 1, x * dw / rect_.width);
+      px[static_cast<size_t>(y) * rect_.width + x] = low.At(sx, sy);
+    }
+  }
+  InvalidateCache();
+  return true;
 }
 
 void RawCommand::Translate(int32_t dx, int32_t dy) {
@@ -222,6 +250,7 @@ std::unique_ptr<Command> RawCommand::SplitOff(size_t max_bytes) {
   auto split = std::make_unique<RawCommand>(rect_, pixels_.Share());
   split->region_ = std::move(head);
   split->compression_enabled_ = compression_enabled_;
+  split->fidelity_degraded_ = fidelity_degraded_;
   split->set_trace_id(trace_id());  // same update, another wire frame
   split->InvalidateCache();
   region_ = std::move(tail);

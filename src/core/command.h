@@ -30,6 +30,7 @@
 #include "src/raster/bitmap.h"
 #include "src/raster/surface.h"
 #include "src/util/buffer.h"
+#include "src/util/event_loop.h"
 #include "src/util/geometry.h"
 #include "src/util/pixel.h"
 #include "src/util/region.h"
@@ -92,6 +93,13 @@ class Command {
   int64_t schedule_seq() const { return schedule_seq_; }
   void set_schedule_seq(int64_t seq) { schedule_seq_ = seq; }
 
+  // Virtual time the command entered the update scheduler (-1 before
+  // insertion; a split remainder keeps the original stamp so its age keeps
+  // accruing). Drives the scheduler's starvation limit under overload
+  // degradation.
+  SimTime queued_at() const { return queued_at_; }
+  void set_queued_at(SimTime t) { queued_at_ = t; }
+
   // Telemetry lifecycle span id (0 = untraced). Assigned when the command
   // enters the update scheduler with spans enabled; a SplitOff() part keeps
   // the parent's id (one update, several wire frames), while Clone() does
@@ -104,6 +112,7 @@ class Command {
 
  private:
   int64_t schedule_seq_ = -1;
+  SimTime queued_at_ = -1;
   uint64_t trace_id_ = 0;
 };
 
@@ -167,6 +176,17 @@ class RawCommand : public Command {
   // Reads the pixels of `r` (must be inside rect()) row-major.
   std::vector<Pixel> ExtractRect(const Rect& r) const;
 
+  // Overload-ladder fidelity downshift (server-side scaling, Section 7's
+  // resample machinery turned into a degradation knob): replaces the payload
+  // with a box-downscaled (by `factor`) then pixel-replicated version of
+  // itself. Geometry and wire format are unchanged — the update simply
+  // carries 1/factor^2 of the information, which the PNG-like codec turns
+  // into a much smaller frame (replicated rows and columns filter to almost
+  // nothing). Applied at most once per command; payloads too small to
+  // compress are left alone. Returns true when the payload was transformed;
+  // the caller charges the resample CPU.
+  bool SubsampleFidelity(int32_t factor);
+
  protected:
   ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
 
@@ -178,6 +198,7 @@ class RawCommand : public Command {
   PixelBuffer pixels_;  // rect_.width * rect_.height, CoW-shared by clones
   Region region_;       // subset of rect_ actually drawn
   bool compression_enabled_ = true;
+  bool fidelity_degraded_ = false;  // SubsampleFidelity() applied
 
   // Lazy encode cache (cleared by any mutation). The frame itself may also
   // live in the payload's shared cache, so commands cloned from one payload

@@ -138,6 +138,9 @@ void UpdateScheduler::Insert(std::unique_ptr<Command> cmd, SimTime now,
                              int min_band) {
   THINC_CHECK(!cmd->region().empty());
   AssignSeq(cmd.get());
+  if (cmd->queued_at() < 0) {
+    cmd->set_queued_at(now);
+  }
   static Counter* inserted = MetricsRegistry::Get().GetCounter("sched.inserted");
   inserted->Inc();
   Telemetry& telemetry = Telemetry::Get();
@@ -201,12 +204,60 @@ void UpdateScheduler::Clear() {
   last_input_time_ = -1;
 }
 
-std::unique_ptr<Command> UpdateScheduler::PopNext() {
+std::unique_ptr<Command> UpdateScheduler::PopNext(SimTime now) {
   if (!realtime_.empty()) {
     std::unique_ptr<Command> cmd = std::move(realtime_.front());
     realtime_.pop_front();
     --count_;
     return cmd;
+  }
+  if (options_.starvation_limit > 0 && now >= 0) {
+    // Starvation relief: among band fronts aged past the limit, flush the
+    // oldest first. Band 0's front flushes next anyway, so start at band 1.
+    int aged_band = -1;
+    SimTime oldest = 0;
+    for (int band = 1; band < kNumBands; ++band) {
+      if (bands_[band].empty()) {
+        continue;
+      }
+      const Command& front = *bands_[band].front();
+      // Transparent commands must stay behind their dependencies; promoting
+      // one would draw it before its base content reaches the client.
+      if (front.overlap() == OverlapClass::kTransparent ||
+          front.queued_at() < 0 ||
+          now - front.queued_at() <= options_.starvation_limit) {
+        continue;
+      }
+      if (aged_band < 0 || front.queued_at() < oldest) {
+        aged_band = band;
+        oldest = front.queued_at();
+      }
+    }
+    if (aged_band >= 0) {
+      // A COPY in a lower band reads the framebuffer before this command
+      // would normally flush; promoting over it would let the copy read the
+      // promoted output. Skip promotion while such a reader exists.
+      const Region& out = bands_[aged_band].front()->region();
+      bool unsafe = false;
+      for (int band = 0; band < aged_band && !unsafe; ++band) {
+        for (const auto& other : bands_[band]) {
+          if (other->type() == MsgType::kCopy &&
+              static_cast<const CopyCommand&>(*other).SourceRegion().Intersects(
+                  out)) {
+            unsafe = true;
+            break;
+          }
+        }
+      }
+      if (!unsafe) {
+        static Counter* aged = MetricsRegistry::Get().GetCounter("sched.aged");
+        aged->Inc();
+        std::unique_ptr<Command> cmd = std::move(bands_[aged_band].front());
+        bands_[aged_band].pop_front();
+        --count_;
+        return cmd;
+      }
+    }
   }
   for (auto& band : bands_) {
     if (!band.empty()) {

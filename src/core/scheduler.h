@@ -40,6 +40,13 @@ struct SchedulerOptions {
   // Commands larger than this never enter the real-time queue ("small to
   // medium-sized", Section 5).
   size_t rt_max_bytes = 16 << 10;
+  // SRSF starvation limit (0 = off): a buffered command whose age exceeds
+  // this is flushed ahead of lower bands, bounding the tail latency SRSF
+  // would otherwise impose on large updates under sustained small-update
+  // load. Transparent commands are never promoted (their dependencies must
+  // flush first), and a promotion is skipped when a lower-band COPY still
+  // reads the candidate's output region.
+  SimTime starvation_limit = 0;
 };
 
 class UpdateScheduler {
@@ -75,8 +82,15 @@ class UpdateScheduler {
   void Clear();
 
   // Pops the next command in flush order (real-time queue first, then bands
-  // in increasing order). Null when empty.
-  std::unique_ptr<Command> PopNext();
+  // in increasing order). Null when empty. When a starvation limit is set
+  // and `now` is provided, a band-front command aged past the limit is
+  // flushed ahead of lower bands (see SchedulerOptions::starvation_limit).
+  std::unique_ptr<Command> PopNext(SimTime now = -1);
+
+  // Runtime override of the starvation limit (the overload degradation
+  // ladder turns aging on/off as host pressure changes; 0 disables).
+  void set_starvation_limit(SimTime limit) { options_.starvation_limit = limit; }
+  SimTime starvation_limit() const { return options_.starvation_limit; }
 
   // Notes a user input event (drives the real-time region).
   void NoteInput(Point location, SimTime now);

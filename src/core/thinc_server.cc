@@ -21,6 +21,25 @@ constexpr uint8_t kTransportKey[16] = {0x54, 0x48, 0x49, 0x4E, 0x43, 0x2D, 0x4B,
 // negligible next to the rendering work, which WindowServer charges).
 constexpr double kTranslateCost = 1.0;
 
+// Overload degradation ladder (levels 0-3; see SetDegradationLevel).
+constexpr int kMaxDegradationLevel = 3;
+constexpr int kFlushStretch[kMaxDegradationLevel + 1] = {1, 4, 8, 16};
+constexpr int kVideoDecimation[kMaxDegradationLevel + 1] = {1, 2, 4, 8};
+// RAW payload subsample factor (server-side fidelity downshift): quarter
+// resolution content at level 2, sixteenth at level 3, in unchanged
+// geometry — roughly factor^2 fewer wire bytes after compression.
+constexpr int32_t kFidelitySubsample[kMaxDegradationLevel + 1] = {1, 1, 2, 4};
+// In-socket backlog budget: bytes already committed to the socket FIFO can
+// no longer be overwritten by fresher content, so past level 0 the flush
+// stops feeding the socket once this much is queued there. Updates wait in
+// the scheduler (and video frames in the media queue) where THINC's
+// overwrite semantics shed staleness instead of serializing it.
+constexpr size_t kSocketBacklogBudget[kMaxDegradationLevel + 1] = {
+    SIZE_MAX, 64u << 10, 16u << 10, 4u << 10};
+// SRSF starvation limit armed at level >= 1: a large update older than this
+// flushes ahead of the small-update churn that heavier batching produces.
+constexpr SimTime kDegradedStarvationLimit = 300 * kMillisecond;
+
 }  // namespace
 
 ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
@@ -35,7 +54,7 @@ ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
   if (telemetry.active()) {
     // One Chrome-trace pid per simulated server host, one tid per
     // subsystem. (Configure telemetry before constructing systems.)
-    telemetry_pid_ = telemetry.RegisterHostAuto("thinc-server");
+    telemetry_pid_ = telemetry.RegisterHostAuto(options_.telemetry_host);
     telemetry.NameThread(telemetry_pid_, 2, "queue");
     telemetry.NameThread(telemetry_pid_, 3, "encode");
     telemetry.NameThread(telemetry_pid_, 4, "send");
@@ -133,12 +152,34 @@ size_t ThincServer::FramebufferBytes() const {
   return static_cast<size_t>(screen.width()) * screen.height() * sizeof(Pixel);
 }
 
+void ThincServer::SetDegradationLevel(int level) {
+  level = std::clamp(level, 0, kMaxDegradationLevel);
+  if (level == degradation_level_) {
+    return;
+  }
+  degradation_level_ = level;
+  scheduler_.set_starvation_limit(level >= 1 ? kDegradedStarvationLimit : 0);
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Record("core.degrade_level", loop_->now(), level);
+  if (telemetry_pid_ != 0) {
+    telemetry.InstantArg(telemetry_pid_, 1, "degrade level", loop_->now(),
+                         "level", level);
+  }
+}
+
+SimTime ThincServer::EffectiveFlushInterval() const {
+  return options_.flush_interval * kFlushStretch[degradation_level_];
+}
+
 void ThincServer::EnforceSchedulerCap() {
   // Graceful degradation under outage or stall: the update buffer never
-  // grows past twice the framebuffer. Past that, the backlog is worth less
-  // than a snapshot of the current screen — collapse it and mark one
-  // full-screen refresh to be materialized at the next connected flush.
-  const size_t cap = 2 * FramebufferBytes();
+  // grows past twice the framebuffer (once, when the overload ladder is
+  // engaged — never below 1x, since the collapse snapshot itself must fit
+  // under the cap). Past that, the backlog is worth less than a snapshot of
+  // the current screen — collapse it and mark one full-screen refresh to be
+  // materialized at the next connected flush.
+  const size_t cap =
+      (degradation_level_ == 0 ? 2 : 1) * FramebufferBytes();
   if (scheduler_.TotalBytes() <= cap) {
     return;
   }
@@ -357,7 +398,7 @@ void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
     // The backlog was coalesced: a pending full-screen snapshot will be read
     // from the live framebuffer, which already (or will) contain this
     // command's output. Buffering it would only regrow the queue.
-    ScheduleFlush(options_.flush_interval);
+    ScheduleFlush(EffectiveFlushInterval());
     return;
   }
   if (viewport_.has_value()) {
@@ -365,7 +406,7 @@ void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
       scheduler_.Insert(std::move(piece), loop_->now());
     }
     EnforceSchedulerCap();
-    ScheduleFlush(options_.flush_interval);
+    ScheduleFlush(EffectiveFlushInterval());
     return;
   }
   // Preserve semantics of buffered COPYs whose source this command is about
@@ -396,7 +437,7 @@ void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
     scheduler_.Insert(std::move(next), loop_->now(), planned);
   }
   EnforceSchedulerCap();
-  ScheduleFlush(options_.flush_interval);
+  ScheduleFlush(EffectiveFlushInterval());
 }
 
 // --- Video -------------------------------------------------------------------
@@ -427,6 +468,16 @@ void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
   if (!connected_) {
     // Server-side drop, same policy as frames outdated before transmission.
     ++video_frames_dropped_;
+    return;
+  }
+  // Ladder decimation: keep the first frame of every group of `decim` (the
+  // phase counter runs at every level so engaging the ladder mid-stream
+  // stays aligned to the same group boundaries).
+  const int decim = kVideoDecimation[degradation_level_];
+  const int64_t frame_index = it->second.frames_seen++;
+  if (decim > 1 && frame_index % decim != 0) {
+    ++video_frames_dropped_;
+    ++video_frames_decimated_;
     return;
   }
   const Yv12Frame* to_send = &frame;
@@ -748,6 +799,14 @@ void ThincServer::Flush() {
       audio_queue_.pop_front();
       continue;
     }
+    // Ladder backlog cap, socket side (audio/control above stays exempt:
+    // tiny and ordering-critical). The writable callback resumes the flush
+    // as the socket drains.
+    if (degradation_level_ > 0 &&
+        conn_->SendBufferCapacity() - conn_->FreeSpace(Connection::kServer) >
+            kSocketBacklogBudget[degradation_level_]) {
+      break;
+    }
     if (!video_queue_.empty()) {
       pending_frame_ = std::move(video_queue_.front().frame);
       pending_cursor_ = 0;
@@ -755,12 +814,23 @@ void ThincServer::Flush() {
       ++video_frames_sent_;
       continue;
     }
-    std::unique_ptr<Command> cmd = scheduler_.PopNext();
+    std::unique_ptr<Command> cmd = scheduler_.PopNext(loop_->now());
     if (cmd == nullptr) {
       break;
     }
     pending_ = std::move(cmd);
     pending_prepared_ = false;
+    if (kFidelitySubsample[degradation_level_] > 1 &&
+        pending_->type() == MsgType::kRaw) {
+      // Ladder fidelity downshift at pop time (after overwrite coalescing
+      // has had its chance): resample work is charged like the viewport
+      // path's server-side scaling.
+      auto* raw = static_cast<RawCommand*>(pending_.get());
+      if (raw->SubsampleFidelity(kFidelitySubsample[degradation_level_])) {
+        cpu_->Charge(static_cast<double>(raw->rect().area()) *
+                     cpucost::kResamplePerPixel);
+      }
+    }
     if (pending_->trace_id() != 0) {
       Telemetry::Get().StampPicked(pending_->trace_id(), now);
     }

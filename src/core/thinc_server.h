@@ -61,6 +61,9 @@ struct ThincServerOptions {
   // already encoded is reused at flush time and its encode CPU charge is
   // skipped, amortizing encode cost to ~1 per frame across N viewers.
   ByteBufferCache* shared_frame_cache = nullptr;
+  // Chrome-trace host name registered for this server's pid. A fleet host
+  // names each session distinctly ("fleet-session-3") so traces separate.
+  std::string telemetry_host = "thinc-server";
 };
 
 class ThincServer : public DisplayDriver {
@@ -128,9 +131,32 @@ class ThincServer : public DisplayDriver {
   void Attach(Connection* conn);
   bool connected() const { return connected_; }
 
+  // --- Overload degradation (fleet) ------------------------------------------
+  // Degradation ladder level 0 (full fidelity) .. 3 (survival), set by a
+  // host-level controller under CPU/NIC pressure. Each level reuses a paper
+  // mechanism rather than inventing a new one:
+  //   * flush aggregation window stretches (x1/x4/x8/x16) — more batching,
+  //     more client-buffer overwrite eviction, fewer flush wakeups;
+  //   * the scheduler-backlog cap tightens from 2x to 1x framebuffer at
+  //     level >= 1, collapsing deep backlogs into one snapshot sooner (the
+  //     cap never drops below 1x: the snapshot itself must fit under it);
+  //   * video frames are decimated server-side (keep 1-in-1/1/2/4), the
+  //     same server-side drop policy as outdated frames;
+  //   * the SRSF starvation limit arms at level >= 1 so large updates are
+  //     not starved indefinitely behind the now-heavier small-update churn.
+  void SetDegradationLevel(int level);
+  int degradation_level() const { return degradation_level_; }
+
+  // Chrome-trace pid of this server's simulated host (0 when telemetry was
+  // inactive at construction). Bench harnesses group per-session lifecycle
+  // spans by this pid.
+  int telemetry_pid() const { return telemetry_pid_; }
+
   // Statistics.
   int64_t video_frames_sent() const { return video_frames_sent_; }
   int64_t video_frames_dropped() const { return video_frames_dropped_; }
+  // Subset of video_frames_dropped() shed by ladder decimation.
+  int64_t video_frames_decimated() const { return video_frames_decimated_; }
   size_t buffered_commands() const { return scheduler_.count(); }
   // Bytes currently buffered in the update scheduler (bounded by
   // 2x framebuffer size through overflow coalescing).
@@ -151,6 +177,7 @@ class ThincServer : public DisplayDriver {
     int32_t src_width = 0;
     int32_t src_height = 0;
     Rect dst;
+    int64_t frames_seen = 0;  // decimation phase (keep the first of a group)
   };
   struct Viewport {
     int32_t width = 0;
@@ -182,6 +209,8 @@ class ThincServer : public DisplayDriver {
   size_t FramebufferBytes() const;
 
   void ScheduleFlush(SimTime delay);
+  // Aggregation window at the current degradation level (ladder stretch).
+  SimTime EffectiveFlushInterval() const;
   void Flush();
   // Commits as much of `bytes` (starting at *cursor) as the socket accepts;
   // returns the number of bytes committed. Unencrypted bytes are handed to
@@ -244,6 +273,8 @@ class ThincServer : public DisplayDriver {
 
   int64_t video_frames_sent_ = 0;
   int64_t video_frames_dropped_ = 0;
+  int64_t video_frames_decimated_ = 0;
+  int degradation_level_ = 0;
 };
 
 }  // namespace thinc

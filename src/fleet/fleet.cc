@@ -1,0 +1,233 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/util/logging.h"
+
+namespace thinc {
+namespace {
+
+// Prng(0) remaps to this constant; admission-time uniqueness must compare
+// the seeds the streams actually run with.
+constexpr uint64_t kPrngZeroRemap = 0x9E3779B97F4A7C15ULL;
+
+uint64_t EffectiveSeed(uint64_t seed) { return seed ? seed : kPrngZeroRemap; }
+
+}  // namespace
+
+FleetHost::FleetHost(EventLoop* loop, FleetOptions options)
+    : loop_(loop), options_(options),
+      host_cpu_(loop, options.cpu_speed),
+      nic_(loop, options.link.bandwidth_bps) {
+  THINC_CHECK(options_.cpu_headroom > 0 && options_.cpu_headroom <= 1.0);
+  THINC_CHECK(options_.nic_headroom > 0 && options_.nic_headroom <= 1.0);
+}
+
+uint64_t FleetHost::DeriveSessionSeed(uint64_t fleet_seed, uint64_t session_id) {
+  // splitmix64 finalizer over (fleet_seed ^ (id + odd constant)): for a
+  // fixed fleet seed this is a bijection of the id, so two sessions of one
+  // fleet can never derive the same seed.
+  uint64_t z = fleet_seed ^ (session_id + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool FleetHost::FitsHeadroom(const FleetSessionDemand& demand) const {
+  // CPU capacity: one second of host time executes 1e6 * speed reference
+  // microseconds of work.
+  const double cpu_capacity = 1e6 * options_.cpu_speed * options_.cpu_headroom;
+  if (admitted_cpu_us_per_sec_ + demand.cpu_us_per_sec > cpu_capacity) {
+    return false;
+  }
+  const double nic_capacity =
+      static_cast<double>(options_.link.bandwidth_bps) * options_.nic_headroom;
+  const double nic_demand_bps =
+      8.0 * static_cast<double>(admitted_nic_bytes_per_sec_ +
+                                demand.nic_bytes_per_sec);
+  return nic_demand_bps <= nic_capacity;
+}
+
+int FleetHost::PredictedCapacity(const FleetSessionDemand& demand) const {
+  int cap = INT32_MAX;
+  if (demand.cpu_us_per_sec > 0) {
+    cap = std::min<int>(
+        cap, static_cast<int>(1e6 * options_.cpu_speed * options_.cpu_headroom /
+                              demand.cpu_us_per_sec));
+  }
+  if (demand.nic_bytes_per_sec > 0) {
+    cap = std::min<int>(
+        cap, static_cast<int>(static_cast<double>(options_.link.bandwidth_bps) *
+                              options_.nic_headroom /
+                              (8.0 * static_cast<double>(demand.nic_bytes_per_sec))));
+  }
+  return cap;
+}
+
+FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
+                                           int64_t weight) {
+  const size_t id = next_id_++;
+  if (!FitsHeadroom(demand)) {
+    if (options_.park_beyond_capacity) {
+      ++parked_;
+      static Counter* parked = MetricsRegistry::Get().GetCounter("fleet.parked");
+      parked->Inc();
+      return Admission::kParked;
+    }
+    ++rejected_;
+    static Counter* rejected =
+        MetricsRegistry::Get().GetCounter("fleet.rejected");
+    rejected->Inc();
+    return Admission::kRejected;
+  }
+
+  auto s = std::make_unique<Session>();
+  s->id = id;
+  s->seed = DeriveSessionSeed(options_.seed, id);
+  s->demand = demand;
+  s->prng = Prng(s->seed);
+  // Two sessions sharing a PRNG stream would correlate "independent"
+  // workloads; the derivation makes it impossible, and this check keeps it
+  // that way if the derivation ever changes.
+  for (const auto& other : sessions_) {
+    THINC_CHECK_MSG(EffectiveSeed(other->seed) != EffectiveSeed(s->seed),
+                    "fleet sessions must not share a PRNG stream");
+  }
+
+  s->conn = std::make_unique<Connection>(loop_, options_.link,
+                                         options_.send_buffer_bytes);
+  s->conn->AttachUplink(&nic_, weight);
+  ThincServerOptions server_options = options_.server_options;
+  server_options.telemetry_host = "fleet-session-" + std::to_string(id);
+  ThincClientOptions client_options = options_.client_options;
+  client_options.client_pull = !server_options.server_push;
+  client_options.encrypt = server_options.encrypt;
+  s->server = std::make_unique<ThincServer>(loop_, s->conn.get(), &host_cpu_,
+                                            server_options);
+  s->ws = std::make_unique<WindowServer>(options_.screen_width,
+                                         options_.screen_height,
+                                         s->server.get(), &host_cpu_);
+  s->server->AttachWindowServer(s->ws.get());
+  s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
+  s->client = std::make_unique<ThincClient>(loop_, s->conn.get(),
+                                            s->client_cpu.get(),
+                                            options_.screen_width,
+                                            options_.screen_height,
+                                            client_options);
+  Session* raw = s.get();
+  s->server->SetInputHandler([raw](Point p, int32_t button) {
+    raw->ws->InjectInput(p);
+    // Button 0 is a position-only event (cursor sync); only real clicks
+    // reach the application callback.
+    if (button > 0 && raw->input_fn) {
+      raw->input_fn(p);
+    }
+  });
+
+  admitted_cpu_us_per_sec_ += demand.cpu_us_per_sec;
+  admitted_nic_bytes_per_sec_ += demand.nic_bytes_per_sec;
+  sessions_.push_back(std::move(s));
+  {
+    static Counter* admitted =
+        MetricsRegistry::Get().GetCounter("fleet.admitted");
+    static Gauge* count = MetricsRegistry::Get().GetGauge("fleet.sessions");
+    admitted->Inc();
+    count->Set(static_cast<int64_t>(sessions_.size()));
+  }
+  return Admission::kAdmitted;
+}
+
+void FleetHost::ClientClick(size_t id, Point location) {
+  sessions_[id]->client->SendInput(location, /*button=*/1);
+}
+
+void FleetHost::SetInputCallback(size_t id, InputFn fn) {
+  sessions_[id]->input_fn = std::move(fn);
+}
+
+size_t FleetHost::FramebufferBytes() const {
+  return static_cast<size_t>(options_.screen_width) * options_.screen_height *
+         sizeof(Pixel);
+}
+
+void FleetHost::StartController(SimTime until) {
+  if (controller_running_) {
+    return;
+  }
+  controller_running_ = true;
+  loop_->Schedule(options_.control_interval,
+                  [this, until] { ControllerTick(until); });
+}
+
+void FleetHost::ControllerTick(SimTime until) {
+  const SimTime now = loop_->now();
+  const SimTime cpu_lag = std::max<SimTime>(0, host_cpu_.busy_until() - now);
+  // NIC lag is drain time for everything queued at the uplink. The WFQ
+  // scheduler itself holds at most the in-flight segment; the backlog lives
+  // in the per-session socket buffers feeding it.
+  int64_t queued_bytes = 0;
+  for (const auto& s : sessions_) {
+    queued_bytes += static_cast<int64_t>(s->conn->SendBufferCapacity() -
+                                         s->conn->FreeSpace(Connection::kServer));
+  }
+  const SimTime nic_lag =
+      std::max<SimTime>(0, nic_.busy_until() - now) +
+      static_cast<SimTime>(queued_bytes * 8 * kSecond /
+                           std::max<int64_t>(1, options_.link.bandwidth_bps));
+  static Counter* ticks = MetricsRegistry::Get().GetCounter("fleet.controller_ticks");
+  static Gauge* cpu_lag_g = MetricsRegistry::Get().GetGauge("fleet.cpu_lag_us");
+  static Gauge* nic_lag_g = MetricsRegistry::Get().GetGauge("fleet.nic_lag_us");
+  static Gauge* level_g = MetricsRegistry::Get().GetGauge("fleet.degrade_level");
+  static Counter* downs = MetricsRegistry::Get().GetCounter("fleet.degradations");
+  static Counter* ups = MetricsRegistry::Get().GetCounter("fleet.restores");
+  ticks->Inc();
+  cpu_lag_g->Set(cpu_lag);
+  nic_lag_g->Set(nic_lag);
+
+  if (options_.degradation_enabled) {
+    // Host-wide pressure only: the shared CPU or NIC running further behind
+    // than a burst can explain admits no per-session remedy — every session
+    // sheds load together. Per-session occupancy (socket fill, scheduler
+    // backlog) is deliberately not a trigger: both are pinned high for the
+    // duration of any single page burst even on an idle host.
+    const bool host_hot =
+        cpu_lag > options_.overload_lag || nic_lag > options_.overload_lag;
+    int max_level = 0;
+    for (auto& s : sessions_) {
+      if (host_hot) {
+        s->under_ticks = 0;
+        if (++s->over_ticks >= options_.ticks_to_degrade) {
+          s->over_ticks = 0;
+          const int level = s->server->degradation_level();
+          if (level < 3) {
+            s->server->SetDegradationLevel(level + 1);
+            downs->Inc();
+          }
+        }
+      } else {
+        s->over_ticks = 0;
+        if (++s->under_ticks >= options_.ticks_to_restore) {
+          s->under_ticks = 0;
+          const int level = s->server->degradation_level();
+          if (level > 0) {
+            s->server->SetDegradationLevel(level - 1);
+            ups->Inc();
+          }
+        }
+      }
+      max_level = std::max(max_level, s->server->degradation_level());
+    }
+    level_g->Set(max_level);
+  }
+
+  if (now + options_.control_interval <= until) {
+    loop_->Schedule(options_.control_interval,
+                    [this, until] { ControllerTick(until); });
+  } else {
+    controller_running_ = false;
+  }
+}
+
+}  // namespace thinc

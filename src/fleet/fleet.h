@@ -1,0 +1,195 @@
+// Multi-tenant THINC host: N independent server/client sessions sharing one
+// simulated machine.
+//
+// The paper's scaling argument (Section 2: a single server "can maintain a
+// large number of active thin clients") rests on the server-push, low-level
+// command architecture staying cheap per session. Everything in the repo so
+// far exercised one session per host — each ThincSystem got a private CPU
+// account and a private wire, so inter-session contention was invisible. A
+// FleetHost closes that gap with four pieces:
+//
+//   * Shared CPU — every session's ThincServer and WindowServer charge the
+//     SAME CpuAccount, so per-session render/encode work serializes through
+//     one host busy-until watermark exactly as the per-session work already
+//     did on its private account. No new CPU model: contention emerges from
+//     the existing charges landing on one queue.
+//   * Shared NIC — every session's downstream (server→client) traffic is
+//     arbitrated by a NicScheduler (weighted start-time fair queueing) in
+//     front of its Connection, replacing the one-private-wire-per-connection
+//     assumption. Upstream input traffic is negligible and keeps the
+//     private wire.
+//   * Admission control — a session is admitted only while the sum of
+//     declared per-session demand fits under a configured CPU and NIC
+//     headroom; beyond that it is parked (counted, not instantiated) or
+//     rejected outright.
+//   * Overload degradation — a periodic controller watches host CPU/NIC lag
+//     and per-session backlog and walks each session up/down a 4-level
+//     ladder of paper mechanisms (flush-window stretch, tighter scheduler
+//     backlog cap, video decimation, SRSF starvation limit; see
+//     ThincServer::SetDegradationLevel) so overload degrades per-session
+//     quality gracefully instead of collapsing latency for everyone.
+//
+// Determinism: session i's workload seed is derived from the fleet seed by a
+// bijective mix (distinct ids can never share a stream), all arbitration
+// tie-breaks are by session/flow id, and the controller reads only
+// virtual-time state — fleet runs are bit-reproducible and telemetry on/off
+// cannot change wire bytes or virtual time. A 1-session fleet degenerates to
+// the non-fleet ThincSystem path byte-for-byte.
+#ifndef THINC_SRC_FLEET_FLEET_H_
+#define THINC_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/thinc_client.h"
+#include "src/core/thinc_server.h"
+#include "src/display/window_server.h"
+#include "src/net/connection.h"
+#include "src/net/nic.h"
+#include "src/util/cpu.h"
+#include "src/util/event_loop.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+
+// Declared per-session resource demand, used by admission control. Callers
+// measure it once at N=1 (reference-speed CPU microseconds and downstream
+// bytes per second of workload) and declare it for every further session.
+struct FleetSessionDemand {
+  double cpu_us_per_sec = 0;
+  int64_t nic_bytes_per_sec = 0;
+};
+
+struct FleetOptions {
+  int32_t screen_width = 1024;
+  int32_t screen_height = 768;
+  // The shared uplink and the per-session link characteristics. The link's
+  // bandwidth field is the physical NIC rate: with one session attached the
+  // shared wire is indistinguishable from a private link of that bandwidth.
+  LinkParams link;
+  // Host CPU speed relative to the reference machine (the testbed server is
+  // 2.0x; see kServerCpuSpeed). Clients run at 1.0x.
+  double cpu_speed = 2.0;
+  uint64_t seed = 1;
+  // Admission: sessions are admitted while the summed declared demand stays
+  // under headroom * capacity on BOTH resources.
+  double cpu_headroom = 0.9;
+  double nic_headroom = 0.9;
+  // Beyond-capacity sessions are parked (admissible later if capacity
+  // frees) rather than rejected.
+  bool park_beyond_capacity = true;
+  // Per-session socket send buffer. Bytes committed here are un-sheddable
+  // (the ladder's coalescing and fidelity downshift only reach the
+  // scheduler), so deployments size it near the per-session share of the
+  // link's bandwidth-delay product rather than the 256 KiB desktop default.
+  size_t send_buffer_bytes = 256 << 10;
+  // Overload controller: sampling period and per-session hysteresis (ticks
+  // of sustained pressure before degrading, calm ticks before restoring).
+  bool degradation_enabled = true;
+  SimTime control_interval = 100 * kMillisecond;
+  int ticks_to_degrade = 2;
+  int ticks_to_restore = 10;
+  // How far behind real time the shared CPU or NIC must run before the host
+  // counts as overloaded. A transient page burst parks a bounded backlog
+  // that drains within a burst time; genuine oversubscription grows the lag
+  // without bound, so a threshold deeper than one burst separates the two.
+  SimTime overload_lag = 500 * kMillisecond;
+  // Template for every session's server (telemetry_host is overridden with
+  // a per-session name so Chrome traces get one pid per session).
+  ThincServerOptions server_options;
+  ThincClientOptions client_options;
+};
+
+class FleetHost {
+ public:
+  enum class Admission { kAdmitted, kParked, kRejected };
+
+  using InputFn = std::function<void(Point)>;
+
+  FleetHost(EventLoop* loop, FleetOptions options);
+
+  // Admission-checks `demand` and, if admitted, instantiates the session
+  // (connection attached to the shared NIC with `weight`, server/window
+  // server on the shared CPU, client on its own 1.0x account). Returns the
+  // outcome; session ids are assigned densely in admission order.
+  Admission AddSession(const FleetSessionDemand& demand, int64_t weight = 1);
+
+  // Deterministic per-session seed: a bijective splitmix64-style mix of
+  // (fleet_seed, id), so two sessions of one fleet can never share a PRNG
+  // stream (THINC_CHECKed against the effective seeds at session creation).
+  static uint64_t DeriveSessionSeed(uint64_t fleet_seed, uint64_t session_id);
+
+  // Starts the periodic overload controller; it stops rescheduling once the
+  // next tick would land past `until`, so EventLoop::Run() terminates.
+  void StartController(SimTime until);
+
+  // --- Per-session access (id < session_count()) ----------------------------
+  size_t session_count() const { return sessions_.size(); }
+  size_t parked_count() const { return parked_; }
+  size_t rejected_count() const { return rejected_; }
+
+  ThincServer* server(size_t id) { return sessions_[id]->server.get(); }
+  ThincClient* client(size_t id) { return sessions_[id]->client.get(); }
+  WindowServer* window_server(size_t id) { return sessions_[id]->ws.get(); }
+  Connection* connection(size_t id) { return sessions_[id]->conn.get(); }
+  // The session's private workload PRNG stream.
+  Prng* prng(size_t id) { return &sessions_[id]->prng; }
+  uint64_t session_seed(size_t id) const { return sessions_[id]->seed; }
+  int degradation_level(size_t id) const {
+    return sessions_[id]->server->degradation_level();
+  }
+
+  // A click at session `id`'s client (traverses the network like any input).
+  void ClientClick(size_t id, Point location);
+  // Application-side callback for session `id`'s real clicks (button > 0).
+  void SetInputCallback(size_t id, InputFn fn);
+
+  EventLoop* loop() { return loop_; }
+  CpuAccount* host_cpu() { return &host_cpu_; }
+  NicScheduler* nic() { return &nic_; }
+  const FleetOptions& options() const { return options_; }
+
+  // Predicted capacity in sessions for `demand` (admission math, exposed so
+  // benches can report the predicted knee next to the measured one).
+  int PredictedCapacity(const FleetSessionDemand& demand) const;
+
+ private:
+  struct Session {
+    size_t id = 0;
+    uint64_t seed = 0;
+    FleetSessionDemand demand;
+    std::unique_ptr<Connection> conn;
+    std::unique_ptr<ThincServer> server;
+    std::unique_ptr<WindowServer> ws;
+    std::unique_ptr<CpuAccount> client_cpu;
+    std::unique_ptr<ThincClient> client;
+    Prng prng{1};
+    InputFn input_fn;
+    // Controller hysteresis state.
+    int over_ticks = 0;
+    int under_ticks = 0;
+  };
+
+  bool FitsHeadroom(const FleetSessionDemand& demand) const;
+  void ControllerTick(SimTime until);
+  size_t FramebufferBytes() const;
+
+  EventLoop* loop_;
+  FleetOptions options_;
+  CpuAccount host_cpu_;
+  NicScheduler nic_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  // Summed demand of admitted sessions.
+  double admitted_cpu_us_per_sec_ = 0;
+  int64_t admitted_nic_bytes_per_sec_ = 0;
+  size_t parked_ = 0;
+  size_t rejected_ = 0;
+  size_t next_id_ = 0;  // parked/rejected sessions consume ids too
+  bool controller_running_ = false;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_FLEET_FLEET_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/net/nic.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/logging.h"
 
@@ -52,6 +53,18 @@ size_t Connection::Send(int from, const ByteBuffer& data) {
     SchedulePump(from, loop_->now());
   }
   return accepted;
+}
+
+void Connection::AttachUplink(NicScheduler* nic, int64_t weight) {
+  THINC_CHECK(uplink_ == nullptr);
+  THINC_CHECK(dirs_[kServer].send_buffer.empty());
+  uplink_ = nic;
+  uplink_flow_ = nic->AttachFlow(weight, [this] {
+    Direction& d = dirs_[kServer];
+    if (!closed_ && !outage_ && !d.send_buffer.empty() && !d.pump_scheduled) {
+      SchedulePump(kServer, loop_->now());
+    }
+  });
 }
 
 void Connection::SetReceiver(int endpoint, ReceiveFn fn) {
@@ -254,17 +267,27 @@ void Connection::Pump(int from) {
       SchedulePump(from, std::max(now, d.inflight.front().first));
       break;
     }
-    // Serialization occupies the wire sequentially; if the wire is still
-    // busy with a previous segment, resume when it frees up.
-    if (d.serialize_free_at > now) {
-      SchedulePump(from, d.serialize_free_at);
-      break;
-    }
     int64_t seg_len =
         std::min<int64_t>(max_seg, static_cast<int64_t>(d.send_buffer.size()));
-    SimTime tx_time =
-        (seg_len * 8 * kSecond + params_.bandwidth_bps - 1) / params_.bandwidth_bps;
-    SimTime depart = now + tx_time;
+    SimTime depart;
+    if (from == kServer && uplink_ != nullptr) {
+      // Shared host NIC: the segment must win the uplink before it can
+      // serialize. On refusal the flow is parked and the NIC's kick
+      // reschedules this pump when the wire frees.
+      if (!uplink_->TryReserve(uplink_flow_, seg_len, &depart)) {
+        break;
+      }
+    } else {
+      // Serialization occupies the private wire sequentially; if it is
+      // still busy with a previous segment, resume when it frees up.
+      if (d.serialize_free_at > now) {
+        SchedulePump(from, d.serialize_free_at);
+        break;
+      }
+      SimTime tx_time = (seg_len * 8 * kSecond + params_.bandwidth_bps - 1) /
+                        params_.bandwidth_bps;
+      depart = now + tx_time;
+    }
     d.serialize_free_at = depart;
 
     // MSS-sized slice of the queued frames: zero-copy when it lies inside

@@ -38,6 +38,8 @@
 
 namespace thinc {
 
+class NicScheduler;
+
 // One timestamped delivery, as a packet monitor would record it.
 struct TraceRecord {
   SimTime time = 0;   // arrival time at the receiving endpoint
@@ -76,6 +78,15 @@ class Connection {
 
   const LinkParams& params() const { return params_; }
   EventLoop* loop() const { return loop_; }
+
+  // Routes this connection's server→client direction through a shared host
+  // NIC instead of a private wire: segments reserve the NIC before
+  // serializing, so N connections on one host contend for one uplink with
+  // weighted-fair arbitration. The client→server direction (input events,
+  // acks) keeps the private wire — upstream traffic is negligible and the
+  // paper's contention story is about server push. Call at most once,
+  // before any data is sent.
+  void AttachUplink(NicScheduler* nic, int64_t weight);
 
   // --- Fault injection -------------------------------------------------------
   // Schedules every event of `plan` on the loop (relative to absolute sim
@@ -140,6 +151,8 @@ class Connection {
   EventLoop* loop_;
   LinkParams params_;
   size_t send_buffer_bytes_;
+  NicScheduler* uplink_ = nullptr;  // shared host NIC (server→client only)
+  int uplink_flow_ = -1;
   Direction dirs_[2];  // indexed by sending endpoint
   ClosedFn closed_fns_[2];  // indexed by notified endpoint
   bool closed_ = false;

@@ -1,0 +1,103 @@
+#include "src/core/audio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thinc {
+namespace {
+
+struct Chunk {
+  size_t bytes;
+  SimTime timestamp;
+};
+
+std::vector<Chunk> Capture(PcmFormat format, SimTime period, SimTime duration) {
+  EventLoop loop;
+  std::vector<Chunk> chunks;
+  VirtualAudioDriver driver(&loop, format, period,
+                            [&](std::span<const uint8_t> pcm, SimTime ts) {
+                              chunks.push_back(Chunk{pcm.size(), ts});
+                            });
+  driver.StartStream(duration);
+  loop.Run();
+  return chunks;
+}
+
+TEST(PcmFormatTest, BytesPerSecondCdQuality) {
+  PcmFormat cd;  // 44100 Hz stereo 16-bit
+  EXPECT_EQ(cd.BytesPerSecond(), 176400);
+}
+
+TEST(PcmFormatTest, BytesPerSecondOddFormats) {
+  PcmFormat telephone{8000, 1, 1};  // 8 kHz mono 8-bit
+  EXPECT_EQ(telephone.BytesPerSecond(), 8000);
+  PcmFormat studio{48000, 3, 3};  // 48 kHz 3-channel 24-bit
+  EXPECT_EQ(studio.BytesPerSecond(), 432000);
+  PcmFormat surround{96000, 6, 4};  // 96 kHz 5.1 32-bit float
+  EXPECT_EQ(surround.BytesPerSecond(), 2304000);
+}
+
+TEST(VirtualAudioDriverTest, SlicesExactPeriods) {
+  PcmFormat cd;
+  std::vector<Chunk> chunks =
+      Capture(cd, /*period=*/20 * kMillisecond, /*duration=*/100 * kMillisecond);
+  ASSERT_EQ(chunks.size(), 5u);
+  for (const Chunk& c : chunks) {
+    // 20 ms of 176400 B/s.
+    EXPECT_EQ(c.bytes, 3528u);
+  }
+}
+
+TEST(VirtualAudioDriverTest, NonDivisibleDurationEmitsShortTail) {
+  PcmFormat cd;
+  std::vector<Chunk> chunks =
+      Capture(cd, /*period=*/30 * kMillisecond, /*duration=*/100 * kMillisecond);
+  // 30+30+30+10: three full periods and a 10 ms tail.
+  ASSERT_EQ(chunks.size(), 4u);
+  const size_t full = static_cast<size_t>(cd.BytesPerSecond() * 30 / 1000);
+  const size_t tail = static_cast<size_t>(cd.BytesPerSecond() * 10 / 1000);
+  EXPECT_EQ(chunks[0].bytes, full);
+  EXPECT_EQ(chunks[1].bytes, full);
+  EXPECT_EQ(chunks[2].bytes, full);
+  EXPECT_EQ(chunks[3].bytes, tail);
+}
+
+TEST(VirtualAudioDriverTest, FractionalByteSpansTruncate) {
+  PcmFormat cd;
+  // 33 ms of 176400 B/s is 5821.2 bytes; the driver emits whole bytes.
+  std::vector<Chunk> chunks =
+      Capture(cd, /*period=*/33 * kMillisecond, /*duration=*/33 * kMillisecond);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].bytes, 5821u);
+}
+
+TEST(VirtualAudioDriverTest, TimestampsAreMonotonicAtPeriodPacing) {
+  PcmFormat cd;
+  const SimTime period = 25 * kMillisecond;
+  std::vector<Chunk> chunks = Capture(cd, period, kSecond);
+  ASSERT_EQ(chunks.size(), 40u);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].timestamp, static_cast<SimTime>(i) * period);
+    if (i > 0) {
+      EXPECT_GT(chunks[i].timestamp, chunks[i - 1].timestamp);
+    }
+  }
+}
+
+TEST(VirtualAudioDriverTest, BytesEmittedMatchesSinkTotal) {
+  PcmFormat telephone{8000, 1, 1};
+  EventLoop loop;
+  int64_t sink_total = 0;
+  VirtualAudioDriver driver(&loop, telephone, 40 * kMillisecond,
+                            [&](std::span<const uint8_t> pcm, SimTime) {
+                              sink_total += static_cast<int64_t>(pcm.size());
+                            });
+  driver.StartStream(330 * kMillisecond);
+  loop.Run();
+  EXPECT_EQ(driver.bytes_emitted(), sink_total);
+  EXPECT_FALSE(driver.active());
+}
+
+}  // namespace
+}  // namespace thinc
