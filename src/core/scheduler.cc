@@ -234,9 +234,16 @@ std::unique_ptr<Command> UpdateScheduler::PopNext(SimTime now) {
       }
     }
     if (aged_band >= 0) {
-      // A COPY in a lower band reads the framebuffer before this command
-      // would normally flush; promoting over it would let the copy read the
-      // promoted output. Skip promotion while such a reader exists.
+      // Promotion hazards, mirroring the real-time guards in PlannedBand:
+      //  * A COPY in a lower band reads the framebuffer before this command
+      //    would normally flush; promoting over it would let the copy read
+      //    the promoted output.
+      //  * A complete command in a lower band overlapping the promoted
+      //    output is necessarily *older* (a newer one would have evicted or
+      //    clipped this command on insert, but eviction keeps partially
+      //    overlapped complete commands whole); flushing it after the
+      //    promoted command would redraw stale pixels over newer content.
+      // Skip promotion while either exists.
       const Region& out = bands_[aged_band].front()->region();
       bool unsafe = false;
       for (int band = 0; band < aged_band && !unsafe; ++band) {
@@ -244,6 +251,11 @@ std::unique_ptr<Command> UpdateScheduler::PopNext(SimTime now) {
           if (other->type() == MsgType::kCopy &&
               static_cast<const CopyCommand&>(*other).SourceRegion().Intersects(
                   out)) {
+            unsafe = true;
+            break;
+          }
+          if (other->overlap() == OverlapClass::kComplete &&
+              other->region().Intersects(out)) {
             unsafe = true;
             break;
           }

@@ -45,7 +45,8 @@ struct SchedulerOptions {
   // would otherwise impose on large updates under sustained small-update
   // load. Transparent commands are never promoted (their dependencies must
   // flush first), and a promotion is skipped when a lower-band COPY still
-  // reads the candidate's output region.
+  // reads the candidate's output region or an older lower-band complete
+  // command (kept whole under partial overlap) would redraw over it.
   SimTime starvation_limit = 0;
 };
 

@@ -68,7 +68,6 @@ int FleetHost::PredictedCapacity(const FleetSessionDemand& demand) const {
 
 FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
                                            int64_t weight) {
-  const size_t id = next_id_++;
   if (!FitsHeadroom(demand)) {
     if (options_.park_beyond_capacity) {
       ++parked_;
@@ -83,6 +82,10 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
     return Admission::kRejected;
   }
 
+  // Ids are assigned only on admission, so id == index into sessions_ and
+  // the public accessors, the seed derivation, and the telemetry host name
+  // all agree on one numbering even after parks/rejects.
+  const size_t id = sessions_.size();
   auto s = std::make_unique<Session>();
   s->id = id;
   s->seed = DeriveSessionSeed(options_.seed, id);
@@ -167,33 +170,53 @@ void FleetHost::ControllerTick(SimTime until) {
   // NIC lag is drain time for everything queued at the uplink. The WFQ
   // scheduler itself holds at most the in-flight segment; the backlog lives
   // in the per-session socket buffers feeding it.
-  int64_t queued_bytes = 0;
+  int64_t socket_bytes = 0;
+  int64_t sched_bytes = 0;
   for (const auto& s : sessions_) {
-    queued_bytes += static_cast<int64_t>(s->conn->SendBufferCapacity() -
+    socket_bytes += static_cast<int64_t>(s->conn->SendBufferCapacity() -
                                          s->conn->FreeSpace(Connection::kServer));
+    sched_bytes += static_cast<int64_t>(s->server->buffered_bytes());
   }
-  const SimTime nic_lag =
-      std::max<SimTime>(0, nic_.busy_until() - now) +
-      static_cast<SimTime>(queued_bytes * 8 * kSecond /
-                           std::max<int64_t>(1, options_.link.bandwidth_bps));
+  const SimTime wire_busy = std::max<SimTime>(0, nic_.busy_until() - now);
+  auto drain_time = [this](int64_t bytes) {
+    return static_cast<SimTime>(
+        bytes * 8 * kSecond /
+        std::max<int64_t>(1, options_.link.bandwidth_bps));
+  };
+  const SimTime nic_lag = wire_busy + drain_time(socket_bytes);
+  // At degraded levels the ladder's socket-backlog budget caps socket bytes
+  // at a few tens of KiB per session while the real backlog waits in the
+  // update scheduler, so nic_lag under-reads uplink demand exactly while
+  // degraded. The restore decision therefore also watches scheduler-resident
+  // bytes (an upper bound on what still wants the wire — eviction and
+  // coalescing only shrink it); restoring on the budget-capped socket metric
+  // alone limit-cycles: restore -> socket refloods -> degrade again.
+  const SimTime nic_demand_lag =
+      wire_busy + drain_time(socket_bytes + sched_bytes);
   static Counter* ticks = MetricsRegistry::Get().GetCounter("fleet.controller_ticks");
   static Gauge* cpu_lag_g = MetricsRegistry::Get().GetGauge("fleet.cpu_lag_us");
   static Gauge* nic_lag_g = MetricsRegistry::Get().GetGauge("fleet.nic_lag_us");
+  static Gauge* demand_g =
+      MetricsRegistry::Get().GetGauge("fleet.nic_demand_lag_us");
   static Gauge* level_g = MetricsRegistry::Get().GetGauge("fleet.degrade_level");
   static Counter* downs = MetricsRegistry::Get().GetCounter("fleet.degradations");
   static Counter* ups = MetricsRegistry::Get().GetCounter("fleet.restores");
   ticks->Inc();
   cpu_lag_g->Set(cpu_lag);
   nic_lag_g->Set(nic_lag);
+  demand_g->Set(nic_demand_lag);
 
   if (options_.degradation_enabled) {
-    // Host-wide pressure only: the shared CPU or NIC running further behind
-    // than a burst can explain admits no per-session remedy — every session
-    // sheds load together. Per-session occupancy (socket fill, scheduler
-    // backlog) is deliberately not a trigger: both are pinned high for the
-    // duration of any single page burst even on an idle host.
+    // Degrade on host-wide pressure only: the shared CPU or NIC running
+    // further behind than a burst can explain admits no per-session remedy —
+    // every session sheds load together. Scheduler backlog is deliberately
+    // not a *degrade* trigger (it pins high during any single page burst
+    // even on an idle host), but it does gate *restores*: stepping back up
+    // is only safe once the pent-up demand it represents has drained, not
+    // merely once the budget-capped socket metric looks calm.
     const bool host_hot =
         cpu_lag > options_.overload_lag || nic_lag > options_.overload_lag;
+    const bool demand_hot = nic_demand_lag > options_.overload_lag;
     int max_level = 0;
     for (auto& s : sessions_) {
       if (host_hot) {
@@ -206,6 +229,12 @@ void FleetHost::ControllerTick(SimTime until) {
             downs->Inc();
           }
         }
+      } else if (demand_hot) {
+        // Hold the current level: not hot enough to degrade further, but the
+        // backlog behind the socket budget would reflood the wire on
+        // restore.
+        s->over_ticks = 0;
+        s->under_ticks = 0;
       } else {
         s->over_ticks = 0;
         if (++s->under_ticks >= options_.ticks_to_restore) {

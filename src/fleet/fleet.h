@@ -186,7 +186,6 @@ class FleetHost {
   int64_t admitted_nic_bytes_per_sec_ = 0;
   size_t parked_ = 0;
   size_t rejected_ = 0;
-  size_t next_id_ = 0;  // parked/rejected sessions consume ids too
   bool controller_running_ = false;
 };
 

@@ -61,8 +61,17 @@ void Connection::AttachUplink(NicScheduler* nic, int64_t weight) {
   uplink_ = nic;
   uplink_flow_ = nic->AttachFlow(weight, [this] {
     Direction& d = dirs_[kServer];
-    if (!closed_ && !outage_ && !d.send_buffer.empty() && !d.pump_scheduled) {
-      SchedulePump(kServer, loop_->now());
+    if (!closed_ && !outage_ && !d.send_buffer.empty()) {
+      if (!d.pump_scheduled) {
+        SchedulePump(kServer, loop_->now());
+      }
+      // An already-scheduled pump runs this instant and either reserves or
+      // releases; either way the park resolves.
+    } else {
+      // No retry is coming (closed, outage-frozen, or buffer drained by a
+      // reset): withdraw from arbitration so smaller-tag ordering never
+      // waits on a flow with nothing to send.
+      uplink_->ReleaseFlow(uplink_flow_);
     }
   });
 }
@@ -249,6 +258,7 @@ void Connection::Pump(int from) {
   Direction& d = dirs_[from];
   const SimTime now = loop_->now();
   bool freed_space = false;
+  bool waiting_on_uplink = false;
 
   // A sub-MSS TCP window serializes smaller segments instead of borrowing a
   // full MSS beyond the window, so window/RTT throughput holds below kMss.
@@ -275,6 +285,7 @@ void Connection::Pump(int from) {
       // serialize. On refusal the flow is parked and the NIC's kick
       // reschedules this pump when the wire frees.
       if (!uplink_->TryReserve(uplink_flow_, seg_len, &depart)) {
+        waiting_on_uplink = true;
         break;
       }
     } else {
@@ -337,6 +348,12 @@ void Connection::Pump(int from) {
     });
   }
 
+  if (from == kServer && uplink_ != nullptr && !waiting_on_uplink) {
+    // The pump stopped for a reason other than losing the uplink (TCP-window
+    // wait, outage, drained buffer): it is no longer contending for the
+    // wire, so it must not hold a parked slot other flows' grants wait on.
+    uplink_->ReleaseFlow(uplink_flow_);
+  }
   if (freed_space && d.writable) {
     d.writable();
   }

@@ -117,6 +117,12 @@ bool NicScheduler::TryReserve(int flow, int64_t seg_len, SimTime* depart) {
   return true;
 }
 
+void NicScheduler::ReleaseFlow(int flow) {
+  Flow& f = flows_[static_cast<size_t>(flow)];
+  f.parked = false;
+  f.parked_since = -1;
+}
+
 void NicScheduler::ScheduleGrant() {
   if (grant_scheduled_) {
     return;
@@ -124,10 +130,15 @@ void NicScheduler::ScheduleGrant() {
   grant_scheduled_ = true;
   loop_->ScheduleAt(free_at_, [this] {
     grant_scheduled_ = false;
-    // Kick parked flows in virtual-finish-tag order (flow id breaks ties):
-    // their pumps re-enter TryReserve in exactly this order on the loop, so
-    // the smallest-tag flow wins the freed wire and the rest re-park against
-    // the new free_at_. Deterministic under same-timestamp contention.
+    // Kick parked flows in virtual-start-tag order (flow id breaks ties) —
+    // the same order TryReserve's anti-queue-jump check enforces. Flows stay
+    // parked through the kick: the winner's TryReserve clears its flag on
+    // the grant, the rest re-park against the new free_at_. Clearing flags
+    // up front would let a fresh pump event at this same timestamp, ordered
+    // between this callback and the kicked pumps, bypass the anti-queue-jump
+    // check and take the wire ahead of a smaller-tag parked flow. A kicked
+    // flow that will not retry must call ReleaseFlow so arbitration never
+    // waits on a flow with nothing to send.
     std::vector<int> parked;
     for (size_t i = 0; i < flows_.size(); ++i) {
       if (flows_[i].parked) {
@@ -137,14 +148,18 @@ void NicScheduler::ScheduleGrant() {
     std::sort(parked.begin(), parked.end(), [this](int a, int b) {
       const Flow& fa = flows_[static_cast<size_t>(a)];
       const Flow& fb = flows_[static_cast<size_t>(b)];
-      return fa.finish_tag != fb.finish_tag ? fa.finish_tag < fb.finish_tag
-                                            : a < b;
+      const int64_t sa = std::max(vtime_, fa.finish_tag);
+      const int64_t sb = std::max(vtime_, fb.finish_tag);
+      return sa != sb ? sa < sb : a < b;
     });
     for (int i : parked) {
       Flow& f = flows_[static_cast<size_t>(i)];
-      f.parked = false;  // re-parks on refusal
       if (f.kick) {
         f.kick();
+      } else {
+        // No retry path is wired; a permanently parked flow would block
+        // every larger-tag flow's grants forever.
+        f.parked = false;
       }
     }
   });

@@ -45,8 +45,16 @@ class NicScheduler {
   // A flow holding a ready segment of `seg_len` bytes asks for the wire.
   // On success returns true and sets *depart to when the segment's last bit
   // leaves the NIC (the wire is occupied until then). On refusal the flow is
-  // parked and its kick callback fires at the next grant opportunity.
+  // parked and its kick callback fires at the next grant opportunity. The
+  // flow STAYS parked until it reserves successfully or calls ReleaseFlow —
+  // same-timestamp fresh arrivals queue behind it either way.
   bool TryReserve(int flow, int64_t seg_len, SimTime* depart);
+
+  // Withdraws a parked flow from arbitration. A kicked flow that decides not
+  // to retry (nothing to send, window-limited, connection closed or in
+  // outage) MUST call this, or its parked entry blocks every larger-tag
+  // flow's grants indefinitely. No-op for unparked flows.
+  void ReleaseFlow(int flow);
 
   void SetBandwidth(int64_t bandwidth_bps);
   int64_t bandwidth_bps() const { return bandwidth_bps_; }

@@ -98,6 +98,46 @@ TEST(NicSchedulerTest, WeightsHonoredWithinOneMss) {
   EXPECT_GT(granted[1], 100 * kMss);  // the light flow is not starved
 }
 
+TEST(NicSchedulerTest, SameInstantArrivalCannotJumpParkedFlow) {
+  // A fresh retry landing exactly when the wire frees, ordered after the
+  // grant callback but before the parked flow's kicked pump, must still
+  // queue behind the smaller-tag parked flow. Flows stay parked through the
+  // kick; only a successful TryReserve (or ReleaseFlow) clears the flag.
+  EventLoop loop;
+  NicScheduler nic(&loop, 8'000'000);  // 1 MB/s
+  std::vector<int> grant_order;
+  int a = 0, b = 0, c = 0;
+  // Kicks retry on a fresh loop event, like Connection's pump does.
+  auto retry = [&loop, &nic, &grant_order](int* id) {
+    return [&loop, &nic, &grant_order, id] {
+      loop.Schedule(0, [&nic, &grant_order, id] {
+        SimTime d;
+        if (nic.TryReserve(*id, kMss, &d)) {
+          grant_order.push_back(*id);
+        }
+      });
+    };
+  };
+  a = nic.AttachFlow(1, {});
+  b = nic.AttachFlow(1, retry(&b));
+  c = nic.AttachFlow(1, retry(&c));
+  SimTime depart = 0;
+  ASSERT_TRUE(nic.TryReserve(a, kMss, &depart));    // wire busy until depart
+  SimTime ignored = 0;
+  ASSERT_FALSE(nic.TryReserve(b, kMss, &ignored));  // b parks; grant at depart
+  // c's first try lands at depart, after the grant callback in event order.
+  loop.ScheduleAt(depart, [&] {
+    SimTime d;
+    if (nic.TryReserve(c, kMss, &d)) {
+      grant_order.push_back(c);
+    }
+  });
+  loop.Run();
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], b);  // the parked flow keeps its place
+  EXPECT_EQ(grant_order[1], c);
+}
+
 TEST(NicSchedulerTest, SingleFlowMatchesPrivateWireExactly) {
   // A 1-flow shared NIC must produce the identical delivery schedule as the
   // built-in private wire (this is what keeps a 1-session fleet
@@ -162,6 +202,23 @@ TEST(FleetAdmissionTest, NicHeadroomCapsSessions) {
   }
   EXPECT_EQ(fleet.AddSession(d), FleetHost::Admission::kRejected);
   EXPECT_EQ(fleet.rejected_count(), 1u);
+}
+
+TEST(FleetAdmissionTest, ParkedAttemptsDoNotConsumeIds) {
+  FleetOptions fo = SmallFleet(Lan());
+  fo.cpu_headroom = 0.5;  // capacity: 1e6 * 2.0 * 0.5 = 1e6 ref-us/sec
+  EventLoop loop;
+  FleetHost fleet(&loop, fo);
+  FleetSessionDemand heavy{600'000, 0};
+  ASSERT_EQ(fleet.AddSession(heavy), FleetHost::Admission::kAdmitted);
+  ASSERT_EQ(fleet.AddSession(heavy), FleetHost::Admission::kParked);
+  FleetSessionDemand light{100'000, 0};
+  ASSERT_EQ(fleet.AddSession(light), FleetHost::Admission::kAdmitted);
+  // Ids are dense in admission order — the parked attempt consumed none —
+  // so the public accessor index and the internal id (seed derivation,
+  // telemetry host name) are the same numbering.
+  EXPECT_EQ(fleet.session_count(), 2u);
+  EXPECT_EQ(fleet.session_seed(1), FleetHost::DeriveSessionSeed(fo.seed, 1));
 }
 
 // --- Shared CPU --------------------------------------------------------------

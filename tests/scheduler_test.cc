@@ -202,6 +202,32 @@ TEST(SchedulerTest, ClearEmptiesEverythingAndDropsInputHotspot) {
   EXPECT_EQ(sched.PopNext()->region().Bounds().x, 0);  // plain FIFO order
 }
 
+TEST(SchedulerTest, StarvationPromotesAgedBandFront) {
+  SchedulerOptions options;
+  options.starvation_limit = 10;
+  UpdateScheduler sched(options);
+  sched.Insert(RawOfSize(Rect{200, 0, 100, 100}), 1);  // high band
+  sched.Insert(Sfill(Rect{0, 0, 50, 50}), 900);        // band 0, fresh
+  // The RAW's age exceeds the limit and nothing overlaps it: promoted over
+  // the band-0 fill.
+  EXPECT_EQ(sched.PopNext(1000)->type(), MsgType::kRaw);
+}
+
+TEST(SchedulerTest, StarvationPromotionBlockedByOlderCompleteOverlap) {
+  // An older complete fill (kept whole under partial overlap by eviction)
+  // sits in band 0 overlapping a newer aged RAW. Promoting the RAW would
+  // flush it first and the older fill would later redraw stale pixels over
+  // the newer content at the client; the promotion must be skipped so the
+  // fill still flushes first.
+  SchedulerOptions options;
+  options.starvation_limit = 10;
+  UpdateScheduler sched(options);
+  sched.Insert(Sfill(Rect{0, 0, 50, 50}), 0);          // older complete, band 0
+  sched.Insert(RawOfSize(Rect{20, 20, 100, 100}), 1);  // newer partial, aged
+  EXPECT_EQ(sched.PopNext(1000)->type(), MsgType::kSfill);
+  EXPECT_EQ(sched.PopNext(1000)->type(), MsgType::kRaw);
+}
+
 TEST(SchedulerTest, TotalBytesAndCount) {
   UpdateScheduler sched;
   EXPECT_TRUE(sched.empty());
