@@ -65,6 +65,18 @@ LinkParams VideoNic() {
 // binding resource is the NIC -- the one the degradation ladder can shed.
 constexpr double kWebCpuSpeed = 16.0;
 
+// The CPU-bound sweep inverts the provisioning: a 100 Mbps NIC that never
+// binds and a deliberately slow host CPU, so the knee is set by render +
+// encode cycles and adding cores (FleetOptions::cpu_cores) moves it.
+constexpr double kCpuBoundSpeed = 0.25;
+LinkParams CpuBoundNic() {
+  return LinkParams{100'000'000, 20 * kMillisecond, 256 << 10, "fleet-nic"};
+}
+// A run counts as below the knee while pooled p95 stays under this; with
+// open-loop clicks, oversubscribed runs queue without bound and blow past
+// it by seconds.
+constexpr double kCpuKneeMs = 1000.0;
+
 int PagesPerSession() {
   const char* env = std::getenv("THINC_FLEET_PAGES");
   if (env != nullptr && std::atoi(env) > 0) {
@@ -73,8 +85,7 @@ int PagesPerSession() {
   return 6;
 }
 
-std::vector<int> SweepSizes() {
-  std::vector<int> sizes = {1, 4, 16, 64};
+std::vector<int> CapSizes(std::vector<int> sizes) {
   const char* env = std::getenv("THINC_FLEET_MAX_N");
   if (env != nullptr && std::atoi(env) > 0) {
     const int max_n = std::atoi(env);
@@ -82,6 +93,10 @@ std::vector<int> SweepSizes() {
   }
   return sizes;
 }
+
+std::vector<int> SweepSizes() { return CapSizes({1, 4, 16, 64}); }
+// Bracketing the expected K=1 (~6) and K=2 (~11) CPU knees.
+std::vector<int> CpuSweepSizes() { return CapSizes({1, 2, 4, 6, 8, 12}); }
 
 // Nearest-rank percentile over integer microseconds (deterministic; no FP
 // accumulation order dependence).
@@ -101,6 +116,7 @@ double Ms(int64_t us) { return static_cast<double>(us) / kMillisecond; }
 
 struct WebRun {
   int n = 0;
+  int cores = 1;
   bool ladder = false;
   SimTime end_vtime = 0;
   SimTime host_cpu_busy = 0;       // host-local microseconds
@@ -118,7 +134,9 @@ struct WebRun {
 };
 
 WebRun RunWebFleet(int n, bool ladder, const TelemetryConfig& tcfg,
-                   int pages_per_session, const char* trace_path = nullptr) {
+                   int pages_per_session, const char* trace_path = nullptr,
+                   int cpu_cores = 1, double cpu_speed = kWebCpuSpeed,
+                   LinkParams nic = WebNic()) {
   Telemetry& telemetry = Telemetry::Get();
   telemetry.Configure(tcfg);
   telemetry.ResetRuntime();
@@ -128,8 +146,9 @@ WebRun RunWebFleet(int n, bool ladder, const TelemetryConfig& tcfg,
   FleetOptions fo;
   fo.screen_width = kScreenW;
   fo.screen_height = kScreenH;
-  fo.link = WebNic();
-  fo.cpu_speed = kWebCpuSpeed;
+  fo.link = nic;
+  fo.cpu_speed = cpu_speed;
+  fo.cpu_cores = cpu_cores;
   // Sockets sized for the shared link, not the 256 KiB desktop default:
   // bytes committed to a socket are un-sheddable, so a fleet host keeps
   // them within a couple of seconds of a fair per-session drain share.
@@ -179,6 +198,7 @@ WebRun RunWebFleet(int n, bool ladder, const TelemetryConfig& tcfg,
 
   WebRun r;
   r.n = n;
+  r.cores = cpu_cores;
   r.ladder = ladder;
   r.end_vtime = loop.now();
   r.host_cpu_busy = fleet.host_cpu()->total_busy();
@@ -349,13 +369,13 @@ void PrintVideoRow(const VideoRun& r) {
 
 void WriteWebRunJson(std::FILE* f, const WebRun& r) {
   std::fprintf(f,
-               "      {\"n\": %d, \"ladder\": %s, \"p95_ms\": %.3f, "
+               "      {\"n\": %d, \"cores\": %d, \"ladder\": %s, \"p95_ms\": %.3f, "
                "\"median_session_p95_ms\": %.3f, \"worst_session_p95_ms\": "
                "%.3f, \"updates_completed\": %lld, \"updates_evicted\": %lld, "
                "\"wire_bytes\": %lld, \"end_vtime_us\": %lld, "
                "\"host_cpu_busy_us\": %lld, \"max_degrade_level\": %d, "
                "\"degradations\": %lld}",
-               r.n, r.ladder ? "true" : "false", r.pooled_p95_ms,
+               r.n, r.cores, r.ladder ? "true" : "false", r.pooled_p95_ms,
                r.median_session_p95_ms, r.worst_session_p95_ms,
                static_cast<long long>(r.spans_completed),
                static_cast<long long>(r.spans_evicted),
@@ -466,6 +486,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // CPU-bound sweep: same open-loop web clicks, but the NIC never binds and
+  // the host CPU does — the knee is render+encode cycles, so modeling K=2
+  // cores (parallel encode slices + a second lane for independent sessions)
+  // must move it outward. Ladder off: this measures raw capacity, not
+  // degraded capacity.
+  std::printf("\n-- CPU-bound web (%.0f Mbps NIC, %.2fx host CPU, K cores) --\n",
+              static_cast<double>(CpuBoundNic().bandwidth_bps) / 1'000'000,
+              kCpuBoundSpeed);
+  std::printf("%4s %5s %14s %16s %16s %10s\n", "N", "cores", "pooled_p95_ms",
+              "median_sess_p95", "worst_sess_p95", "updates");
+  std::vector<WebRun> cpu_runs;
+  for (int cores : {1, 2}) {
+    for (int n : CpuSweepSizes()) {
+      WebRun r = RunWebFleet(n, /*ladder=*/false, spans_only, pages,
+                             /*trace_path=*/nullptr, cores, kCpuBoundSpeed,
+                             CpuBoundNic());
+      std::printf("%4d %5d %14.1f %16.1f %16.1f %10lld\n", r.n, r.cores,
+                  r.pooled_p95_ms, r.median_session_p95_ms,
+                  r.worst_session_p95_ms,
+                  static_cast<long long>(r.spans_completed));
+      std::fflush(stdout);
+      cpu_runs.push_back(std::move(r));
+    }
+  }
+  auto cpu_knee = [&cpu_runs](int cores) {
+    int best = 0;
+    for (const WebRun& r : cpu_runs) {
+      if (r.cores == cores && r.pooled_p95_ms <= kCpuKneeMs) {
+        best = std::max(best, r.n);
+      }
+    }
+    return best;
+  };
+  const int knee_k1 = cpu_knee(1);
+  const int knee_k2 = cpu_knee(2);
+  std::printf("CPU-bound knee (largest N with p95 <= %.0f ms): "
+              "K=1 -> %d sessions, K=2 -> %d sessions\n",
+              kCpuKneeMs, knee_k1, knee_k2);
+
   std::printf("\n-- Video (frame delay: server timestamp -> client arrival) --\n");
   std::printf("%4s %7s %16s %16s %11s %10s %10s %6s\n", "N", "ladder",
               "median_sess_p95", "worst_sess_p95", "delivered", "frames",
@@ -498,6 +557,17 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < web_runs.size(); ++i) {
       WriteWebRunJson(f, web_runs[i]);
       std::fprintf(f, i + 1 < web_runs.size() ? ",\n" : "\n");
+    }
+    std::fprintf(f,
+                 "    ]\n  },\n  \"cpu_bound\": {\n    \"cpu_speed\": %.2f, "
+                 "\"nic_bps\": %lld, \"knee_k1\": %d, \"knee_k2\": %d,\n"
+                 "    \"sweep\": [\n",
+                 kCpuBoundSpeed,
+                 static_cast<long long>(CpuBoundNic().bandwidth_bps), knee_k1,
+                 knee_k2);
+    for (size_t i = 0; i < cpu_runs.size(); ++i) {
+      WriteWebRunJson(f, cpu_runs[i]);
+      std::fprintf(f, i + 1 < cpu_runs.size() ? ",\n" : "\n");
     }
     std::fprintf(f, "    ]\n  },\n  \"video\": {\n    \"sweep\": [\n");
     for (size_t i = 0; i < video_runs.size(); ++i) {

@@ -45,6 +45,12 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # time are identical (shared-CPU/NIC arbitration must be unperturbed).
   echo "== fleet smoke: bench_fleet_capacity --smoke =="
   ./build/bench/bench_fleet_capacity --smoke
+
+  # Simulator-core smoke: the lazy-delete heap queue must fire the exact
+  # transcript of the std::map baseline on churn and cancel-heavy workloads,
+  # and clear >= 2x the map's events/sec when cancels dominate.
+  echo "== simcore smoke: bench_simcore --smoke =="
+  ./build/bench/bench_simcore --smoke
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

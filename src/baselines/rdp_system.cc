@@ -47,7 +47,8 @@ RdpOptions MakeIcaOptions(bool wan_profile) {
 
 RdpSystem::RdpSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
                      int32_t screen_height, RdpOptions options)
-    : loop_(loop), options_(std::move(options)), server_cpu_(loop, kServerCpuSpeed),
+    : loop_(loop), options_(std::move(options)),
+      server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
       out_(std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
@@ -139,8 +140,10 @@ void RdpSystem::RdpDriver::OnPutImage(DrawableId dst, const Rect& rect,
     return;
   }
   // Direct on-screen image stores are the video fallback path; when the
-  // compressor is saturated the source frame is simply skipped.
-  if (owner_->server_cpu_.busy_until() >
+  // compressor is saturated the source frame is simply skipped. Saturation
+  // means no core frees up soon (earliest_free) — the busy_until() max
+  // would skip frames an idle core of a multi-core host could compress.
+  if (owner_->server_cpu_.earliest_free() >
       owner_->loop_->now() + 100 * kMillisecond) {
     return;
   }

@@ -42,6 +42,8 @@ struct RdpOptions {
   // Relative cost of image/order processing (MetaFrame's richer pipeline
   // costs more per update than RDP's).
   double processing_scale = 1.0;
+  // Cores on the server host (virtual timing only; wire bytes unchanged).
+  int server_cpu_cores = 1;
 };
 
 RdpOptions MakeRdpOptions(bool wan_profile);

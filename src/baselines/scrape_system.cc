@@ -30,7 +30,8 @@ ScrapeOptions MakeGotomypcOptions() {
 ScrapeSystem::ScrapeSystem(EventLoop* loop, const LinkParams& link,
                            int32_t screen_width, int32_t screen_height,
                            ScrapeOptions options)
-    : loop_(loop), options_(std::move(options)), server_cpu_(loop, kServerCpuSpeed),
+    : loop_(loop), options_(std::move(options)),
+      server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed), client_fb_(screen_width, screen_height,
                                                      kBlack) {
   if (options_.relay) {

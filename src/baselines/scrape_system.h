@@ -37,6 +37,8 @@ struct ScrapeOptions {
   // PDA mode: GoToMyPC resizes on the client; VNC clips the viewport.
   bool resize_on_client = false;
   SimTime defer = 5 * kMillisecond;  // update aggregation window
+  // Cores on the server host (virtual timing only; wire bytes unchanged).
+  int server_cpu_cores = 1;
 };
 
 ScrapeOptions MakeVncOptions(bool aggressive);

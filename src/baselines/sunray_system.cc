@@ -12,7 +12,8 @@ namespace thinc {
 SunRaySystem::SunRaySystem(EventLoop* loop, const LinkParams& link,
                            int32_t screen_width, int32_t screen_height,
                            SunRayOptions options)
-    : loop_(loop), options_(options), server_cpu_(loop, kServerCpuSpeed),
+    : loop_(loop), options_(options),
+      server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
       out_(std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
@@ -103,7 +104,9 @@ void SunRaySystem::InferTile(const Rect& rect) {
     return;
   }
   if (distinct == 2) {
-    server_cpu_.Charge(cost);
+    // This update ships when ITS analysis completes (the Charge() return),
+    // not at the whole host's busy_until() max.
+    SimTime analyzed_at = server_cpu_.Charge(cost);
     Bitmap mask(rect.width, rect.height);
     for (int32_t y = 0; y < rect.height; ++y) {
       for (int32_t x = 0; x < rect.width; ++x) {
@@ -119,7 +122,7 @@ void SunRaySystem::InferTile(const Rect& rect) {
     w.BitmapVal(mask);
     std::vector<uint8_t> payload = w.Take();
     out_->Enqueue(BuildFrame(static_cast<MsgType>(Msg::kBitmapFill), payload),
-                  server_cpu_.busy_until(), key);
+                  analyzed_at, key);
     return;
   }
 

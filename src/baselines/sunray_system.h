@@ -32,6 +32,8 @@ namespace thinc {
 
 struct SunRayOptions {
   bool aggressive_compression = false;  // WAN adaptive profile
+  // Cores on the server host (virtual timing only; wire bytes unchanged).
+  int server_cpu_cores = 1;
 };
 
 class SunRaySystem : public RemoteDisplaySystem {
@@ -105,7 +107,10 @@ class SunRaySystem : public RemoteDisplaySystem {
       if (dst != kScreenDrawable) {
         return;
       }
-      if (owner_->server_cpu_.busy_until() >
+      // "Saturated" means no core can take the analysis soon — the
+      // earliest-free watermark, not the busy_until() max (which on a
+      // multi-core host would skip frames an idle core could handle).
+      if (owner_->server_cpu_.earliest_free() >
           owner_->loop_->now() + 100 * kMillisecond) {
         return;
       }

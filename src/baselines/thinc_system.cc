@@ -5,8 +5,9 @@ namespace thinc {
 ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
                          int32_t screen_width, int32_t screen_height,
                          ThincServerOptions server_options,
-                         ThincClientOptions client_options)
-    : loop_(loop), server_cpu_(loop, kServerCpuSpeed),
+                         ThincClientOptions client_options,
+                         int server_cpu_cores)
+    : loop_(loop), server_cpu_(loop, kServerCpuSpeed, server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)) {
   // Keep push/pull settings coherent across the pair.

@@ -18,9 +18,12 @@ namespace thinc {
 
 class ThincSystem : public RemoteDisplaySystem {
  public:
+  // `server_cpu_cores` models a K-core server host (the paper's server is a
+  // dual-CPU PIII); it changes only virtual timing, never wire bytes.
   ThincSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
               int32_t screen_height, ThincServerOptions server_options = {},
-              ThincClientOptions client_options = {});
+              ThincClientOptions client_options = {},
+              int server_cpu_cores = 1);
 
   std::string name() const override { return "THINC"; }
   DrawingApi* api() override { return window_server_.get(); }

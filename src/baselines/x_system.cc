@@ -45,7 +45,8 @@ XSystemOptions MakeNxOptions(bool wan_profile) {
 XSystem::XSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
                  int32_t screen_height, XSystemOptions options)
     : loop_(loop), link_(link), options_(std::move(options)), width_(screen_width),
-      height_(screen_height), server_cpu_(loop, kServerCpuSpeed),
+      height_(screen_height),
+      server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
       out_(std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
@@ -79,8 +80,12 @@ void XSystem::Submit(XMsg type, WireWriter* body, bool image_payload,
       // The NX image pipeline is multi-pass (differential protocol encoding
       // plus the image codec plus the ZLIB stream layer): roughly 3x the
       // cost of THINC's single PNG pass.
-      server_cpu_.Charge(3 * cpucost::kPngLikePerByte *
-                         static_cast<double>(px.size() * sizeof(Pixel)));
+      // This request leaves when ITS encode completes — the Charge() return
+      // value — not when the whole host drains (busy_until() is the max
+      // across cores, which would serialize against unrelated work).
+      SimTime release =
+          server_cpu_.Charge(3 * cpucost::kPngLikePerByte *
+                             static_cast<double>(px.size() * sizeof(Pixel)));
       WireWriter out;
       out.U8(static_cast<uint8_t>(BodyCodec::kPngLike));
       out.U32(static_cast<uint32_t>(raw.size()));
@@ -89,7 +94,6 @@ void XSystem::Submit(XMsg type, WireWriter* body, bool image_payload,
       out.U32(static_cast<uint32_t>(png.size()));
       out.Bytes(png);
       std::vector<uint8_t> payload = out.Take();
-      SimTime release = server_cpu_.busy_until();
       out_->Enqueue(BuildFrame(static_cast<MsgType>(type), payload), release);
       ++request_count_;
       if (request_count_ % options_.sync_every == 0) {
@@ -107,7 +111,10 @@ void XSystem::Submit(XMsg type, WireWriter* body, bool image_payload,
 
   // ssh -C style stream compression of the request.
   std::vector<uint8_t> packed = LzssEncode(raw);
-  server_cpu_.Charge(cpucost::kLzssPerByte * static_cast<double>(raw.size()));
+  // As above: the release time is this request's own completion, not the
+  // host-wide busy_until() max.
+  SimTime compressed_at =
+      server_cpu_.Charge(cpucost::kLzssPerByte * static_cast<double>(raw.size()));
   WireWriter out;
   out.U8(static_cast<uint8_t>(BodyCodec::kLzss));
   out.U32(static_cast<uint32_t>(raw.size()));
@@ -115,7 +122,7 @@ void XSystem::Submit(XMsg type, WireWriter* body, bool image_payload,
   std::vector<uint8_t> payload = out.Take();
   // The request leaves once the app has produced it (CPU) and is past any
   // synchronization stall.
-  SimTime release = std::max(server_cpu_.busy_until(), app_gate_);
+  SimTime release = std::max(compressed_at, app_gate_);
   out_->Enqueue(BuildFrame(static_cast<MsgType>(type), payload), release);
   ++request_count_;
   if (request_count_ % options_.sync_every == 0) {
@@ -269,9 +276,11 @@ void XSystem::VideoFrame(int32_t stream_id, const Yv12Frame& frame) {
   auto it = streams_.find(stream_id);
   THINC_CHECK(it != streams_.end());
   if (out_->queued_bytes() > options_.video_drop_threshold ||
-      server_cpu_.busy_until() > loop_->now() + 100 * kMillisecond) {
+      server_cpu_.earliest_free() > loop_->now() + 100 * kMillisecond) {
     // Connection backed up or the compressor can't keep up: the player
-    // skips this frame.
+    // skips this frame. "Can't keep up" asks whether ANY core can take the
+    // conversion soon (earliest_free); the busy_until() max would drop
+    // frames a multi-core host could still convert on an idle core.
     ++video_frames_dropped_;
     return;
   }

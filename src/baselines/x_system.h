@@ -42,6 +42,8 @@ struct XSystemOptions {
   int lossy_level = 0;
   // Outbound backlog beyond which the video player drops frames.
   size_t video_drop_threshold = 4 << 20;
+  // Cores on the server host (virtual timing only; wire bytes unchanged).
+  int server_cpu_cores = 1;
 };
 
 XSystemOptions MakeXOptions();

@@ -153,8 +153,9 @@ namespace {
 constexpr double kHostSpeed = 2.0;
 }  // namespace
 
-SharedSessionHost::SharedSessionHost(EventLoop* loop, int32_t width, int32_t height)
-    : loop_(loop), host_cpu_(loop, kHostSpeed) {
+SharedSessionHost::SharedSessionHost(EventLoop* loop, int32_t width, int32_t height,
+                                     int host_cpu_cores)
+    : loop_(loop), host_cpu_(loop, kHostSpeed, host_cpu_cores) {
   window_server_ =
       std::make_unique<WindowServer>(width, height, &broadcast_, &host_cpu_);
 }

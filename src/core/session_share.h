@@ -84,7 +84,11 @@ class SharedSessionHost {
     std::unique_ptr<CpuAccount> client_cpu;
   };
 
-  SharedSessionHost(EventLoop* loop, int32_t width, int32_t height);
+  // `host_cpu_cores` models a K-core host: per-viewer encodes overlap
+  // across cores, and large RAW encodes additionally split into parallel
+  // slices (timing only; wire bytes are core-count independent).
+  SharedSessionHost(EventLoop* loop, int32_t width, int32_t height,
+                    int host_cpu_cores = 1);
   ~SharedSessionHost();
 
   // Adds a viewer over `link`. If content has already been drawn, the new

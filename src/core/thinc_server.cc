@@ -21,6 +21,12 @@ constexpr uint8_t kTransportKey[16] = {0x54, 0x48, 0x49, 0x4E, 0x43, 0x2D, 0x4B,
 // negligible next to the rendering work, which WindowServer charges).
 constexpr double kTranslateCost = 1.0;
 
+// Minimum reference-speed cost (µs) worth one parallel encode slice: slices
+// below this would spend more on scheduling than they save, so an encode
+// splits into at most cost/kEncodeSliceCostUs slices (and never more than
+// the host has cores).
+constexpr double kEncodeSliceCostUs = 500.0;
+
 // Overload degradation ladder (levels 0-3; see SetDegradationLevel).
 constexpr int kMaxDegradationLevel = 3;
 constexpr int kFlushStretch[kMaxDegradationLevel + 1] = {1, 4, 8, 16};
@@ -617,6 +623,25 @@ size_t ThincServer::CommitBytes(const ByteBuffer& bytes, size_t* cursor) {
   return n;
 }
 
+SimTime ThincServer::ChargeEncode(double cost_us) {
+  if (options_.parallel_encode_slices && cpu_->cores() > 1 &&
+      pending_ != nullptr && pending_->type() == MsgType::kRaw &&
+      cost_us > kEncodeSliceCostUs) {
+    const int by_cost = static_cast<int>(cost_us / kEncodeSliceCostUs);
+    const int slices = std::min(cpu_->cores(), by_cost);
+    if (slices > 1) {
+      static Counter* sliced =
+          MetricsRegistry::Get().GetCounter("cpu.sliced_encodes");
+      static Counter* slice_count =
+          MetricsRegistry::Get().GetCounter("cpu.encode_slices");
+      sliced->Inc();
+      slice_count->Inc(slices);
+      return cpu_->ChargeParallel(cost_us, slices);
+    }
+  }
+  return cpu_->Charge(cost_us);
+}
+
 void ThincServer::Flush() {
   if (!connected_) {
     return;  // parked; Attach() + the client's resync hello resume delivery
@@ -695,7 +720,7 @@ void ThincServer::Flush() {
         if (!pending_prepared_) {
           double cost = pending_->EncodeCpuCost();
           pending_encode_start_ = now;
-          pending_ready_ = cpu_->Charge(cost);
+          pending_ready_ = ChargeEncode(cost);
           pending_prepared_ = true;
           if (pending_->type() == MsgType::kRaw) {
             ++BufferStats::Get().encode_charges;
@@ -730,7 +755,7 @@ void ThincServer::Flush() {
         // evicted): encode ourselves after all.
         double cost = pending_->EncodeCpuCost();
         pending_encode_start_ = now;
-        pending_ready_ = cpu_->Charge(cost);
+        pending_ready_ = ChargeEncode(cost);
         ++BufferStats::Get().encode_charges;
         options_.shared_frame_cache->NoteEncodeStarted(pending_cache_key_,
                                                        pending_ready_);

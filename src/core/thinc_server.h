@@ -56,6 +56,12 @@ struct ThincServerOptions {
   SchedulerOptions scheduler;
   // Aggregation window between command generation and transmission.
   SimTime flush_interval = kMillisecond;
+  // On a multi-core host, split large RAW/PNG-like encodes into per-band
+  // slices charged to distinct cores (§DESIGN.md 12). Off: every encode is
+  // one serial charge even when idle cores are available. No effect on a
+  // single-core host, and never on wire bytes — only on encode completion
+  // times.
+  bool parallel_encode_slices = true;
   // Shared encoded-frame cache (session sharing): when set — only a
   // SharedSessionHost does this — a RAW frame another viewer's server
   // already encoded is reused at flush time and its encode CPU charge is
@@ -207,6 +213,12 @@ class ThincServer : public DisplayDriver {
   // framebuffer size, collapse it into a single full-screen snapshot.
   void EnforceSchedulerCap();
   size_t FramebufferBytes() const;
+
+  // Books the CPU time for encoding `pending_` and returns its completion
+  // time. RAW encodes above kEncodeSliceCostUs split into per-band slices
+  // landing on distinct cores (capped so each slice stays worth its
+  // scheduling overhead); everything else is one serial charge.
+  SimTime ChargeEncode(double cost_us);
 
   void ScheduleFlush(SimTime delay);
   // Aggregation window at the current degradation level (ladder stretch).

@@ -253,6 +253,9 @@ void WindowServer::InjectInput(Point location) {
 }
 
 SimTime WindowServer::RenderDoneAt() const {
+  // "All rendering charged so far is done" is the max watermark across the
+  // host's cores — busy_until() — not the earliest-free one: a caller
+  // waiting on RenderDoneAt() waits for every outstanding drawing op.
   return cpu_ != nullptr ? cpu_->busy_until() : 0;
 }
 

@@ -19,8 +19,9 @@ uint64_t EffectiveSeed(uint64_t seed) { return seed ? seed : kPrngZeroRemap; }
 
 FleetHost::FleetHost(EventLoop* loop, FleetOptions options)
     : loop_(loop), options_(options),
-      host_cpu_(loop, options.cpu_speed),
+      host_cpu_(loop, options.cpu_speed, options.cpu_cores),
       nic_(loop, options.link.bandwidth_bps) {
+  THINC_CHECK(options_.cpu_cores >= 1);
   THINC_CHECK(options_.cpu_headroom > 0 && options_.cpu_headroom <= 1.0);
   THINC_CHECK(options_.nic_headroom > 0 && options_.nic_headroom <= 1.0);
 }
@@ -36,9 +37,10 @@ uint64_t FleetHost::DeriveSessionSeed(uint64_t fleet_seed, uint64_t session_id) 
 }
 
 bool FleetHost::FitsHeadroom(const FleetSessionDemand& demand) const {
-  // CPU capacity: one second of host time executes 1e6 * speed reference
-  // microseconds of work.
-  const double cpu_capacity = 1e6 * options_.cpu_speed * options_.cpu_headroom;
+  // CPU capacity: one second of host time executes 1e6 * speed * cores
+  // reference microseconds of work (K cores run K charges concurrently).
+  const double cpu_capacity = 1e6 * options_.cpu_speed * options_.cpu_cores *
+                              options_.cpu_headroom;
   if (admitted_cpu_us_per_sec_ + demand.cpu_us_per_sec > cpu_capacity) {
     return false;
   }
@@ -54,8 +56,8 @@ int FleetHost::PredictedCapacity(const FleetSessionDemand& demand) const {
   int cap = INT32_MAX;
   if (demand.cpu_us_per_sec > 0) {
     cap = std::min<int>(
-        cap, static_cast<int>(1e6 * options_.cpu_speed * options_.cpu_headroom /
-                              demand.cpu_us_per_sec));
+        cap, static_cast<int>(1e6 * options_.cpu_speed * options_.cpu_cores *
+                              options_.cpu_headroom / demand.cpu_us_per_sec));
   }
   if (demand.nic_bytes_per_sec > 0) {
     cap = std::min<int>(
@@ -166,7 +168,10 @@ void FleetHost::StartController(SimTime until) {
 
 void FleetHost::ControllerTick(SimTime until) {
   const SimTime now = loop_->now();
-  const SimTime cpu_lag = std::max<SimTime>(0, host_cpu_.busy_until() - now);
+  // Max-per-core lag: on a K-core host the overload signal is the MOST
+  // loaded core, not the least — one core pinned a second behind means some
+  // session's pipeline runs a second late even if other cores idle.
+  const SimTime cpu_lag = host_cpu_.max_core_lag(now);
   // NIC lag is drain time for everything queued at the uplink. The WFQ
   // scheduler itself holds at most the in-flight segment; the backlog lives
   // in the per-session socket buffers feeding it.
@@ -201,10 +206,32 @@ void FleetHost::ControllerTick(SimTime until) {
   static Gauge* level_g = MetricsRegistry::Get().GetGauge("fleet.degrade_level");
   static Counter* downs = MetricsRegistry::Get().GetCounter("fleet.degradations");
   static Counter* ups = MetricsRegistry::Get().GetCounter("fleet.restores");
+  // cpu.* — the shared host CPU seen as a multi-core account; sim.* — event
+  // loop health (queue depth, churn), cheap to read here since the
+  // controller already samples every resource each tick.
+  static Gauge* cpu_cores_g = MetricsRegistry::Get().GetGauge("cpu.cores");
+  static Gauge* cpu_max_lag_g =
+      MetricsRegistry::Get().GetGauge("cpu.max_core_lag_us");
+  static Gauge* cpu_min_lag_g =
+      MetricsRegistry::Get().GetGauge("cpu.earliest_free_lag_us");
+  static Gauge* cpu_busy_g =
+      MetricsRegistry::Get().GetGauge("cpu.total_busy_us");
+  static Gauge* sim_pending_g =
+      MetricsRegistry::Get().GetGauge("sim.pending_events");
+  static Gauge* sim_fired_g = MetricsRegistry::Get().GetGauge("sim.fired_events");
+  static Gauge* sim_cancelled_g =
+      MetricsRegistry::Get().GetGauge("sim.cancelled_events");
   ticks->Inc();
   cpu_lag_g->Set(cpu_lag);
   nic_lag_g->Set(nic_lag);
   demand_g->Set(nic_demand_lag);
+  cpu_cores_g->Set(host_cpu_.cores());
+  cpu_max_lag_g->Set(cpu_lag);
+  cpu_min_lag_g->Set(std::max<SimTime>(0, host_cpu_.earliest_free() - now));
+  cpu_busy_g->Set(host_cpu_.total_busy());
+  sim_pending_g->Set(static_cast<int64_t>(loop_->pending_count()));
+  sim_fired_g->Set(static_cast<int64_t>(loop_->fired_count()));
+  sim_cancelled_g->Set(static_cast<int64_t>(loop_->cancelled_count()));
 
   if (options_.degradation_enabled) {
     // Degrade on host-wide pressure only: the shared CPU or NIC running

@@ -72,6 +72,11 @@ struct FleetOptions {
   // Host CPU speed relative to the reference machine (the testbed server is
   // 2.0x; see kServerCpuSpeed). Clients run at 1.0x.
   double cpu_speed = 2.0;
+  // Cores on the shared host CPU (the paper's server is a dual-CPU PIII).
+  // Session work spreads over the K per-core watermarks and large encodes
+  // slice across idle cores; admission capacity scales linearly. Virtual
+  // timing only — wire bytes are identical at any K (DESIGN.md §12).
+  int cpu_cores = 1;
   uint64_t seed = 1;
   // Admission: sessions are admitted while the summed declared demand stays
   // under headroom * capacity on BOTH resources.

@@ -214,6 +214,10 @@ int64_t Connection::BytesDeliveredTo(int endpoint) const {
   return dirs_[1 - endpoint].delivered_bytes;
 }
 
+uint64_t Connection::DeliveredHashTo(int endpoint) const {
+  return dirs_[1 - endpoint].delivered_hash;
+}
+
 SimTime Connection::LastDeliveryTo(int endpoint) const {
   return dirs_[1 - endpoint].last_delivery;
 }
@@ -316,6 +320,9 @@ void Connection::Pump(int from) {
       RunOrFreeze(epoch, [this, from, payload] {
         Direction& dir = dirs_[from];
         dir.delivered_bytes += static_cast<int64_t>(payload.size());
+        for (uint8_t b : payload) {
+          dir.delivered_hash = (dir.delivered_hash ^ b) * 1099511628211ULL;
+        }
         dir.phase_delivered_bytes += static_cast<int64_t>(payload.size());
         dir.last_delivery = loop_->now();
         dir.trace.push_back(

@@ -111,6 +111,12 @@ class Connection {
   const std::vector<TraceRecord>& TraceTo(int endpoint) const;
   // Lifetime byte counter: survives ResetTraces().
   int64_t BytesDeliveredTo(int endpoint) const;
+  // FNV-1a hash over every byte delivered to `endpoint`, in delivery order.
+  // Segmentation-independent (bytes hash one at a time), so two runs whose
+  // segment boundaries differ but whose byte stream matches hash equal —
+  // the wire-identity fingerprint the multi-core determinism tests compare
+  // across modeled core counts. Survives ResetTraces().
+  uint64_t DeliveredHashTo(int endpoint) const;
   // Timestamp of the last delivery in the CURRENT measurement phase, i.e.
   // since the last ResetTraces() (0 when nothing has been delivered this
   // phase — a page/phase that transfers no data never inherits an older
@@ -138,6 +144,7 @@ class Connection {
     WritableFn writable;
     std::vector<TraceRecord> trace;
     int64_t delivered_bytes = 0;        // lifetime
+    uint64_t delivered_hash = 14695981039346656037ULL;  // FNV-1a, lifetime
     int64_t phase_delivered_bytes = 0;  // since last ResetTraces()
     SimTime last_delivery = 0;          // since last ResetTraces()
   };

@@ -4,13 +4,37 @@
 // client (450 MHz PII), and several results hinge on where computation
 // happens: GoToMyPC's expensive server-side compression, ICA's client-side
 // resize, the local PC rendering pages on the slow client. A CpuAccount
-// serializes work on one host: Charge() advances a busy-until watermark and
-// returns when the work completes in virtual time.
+// models one host's compute: Charge() books work onto a core and returns
+// when the work completes in virtual time.
+//
+// Multi-core model: a host has K cores, each with its own busy-until
+// watermark. A charge lands on the least-loaded core (earliest watermark;
+// lowest index on ties — fully deterministic), starts at
+// max(now, that core's watermark), and runs for cost/speed. Work units are
+// independent by default; dependent work is serialized by the caller's own
+// issue order (e.g. a server's flush loop only charges the next encode after
+// the previous one completed, so per-session pipelines never self-overlap).
+// ChargeParallel() splits one large work item (a RAW/PNG encode) into
+// per-band slices that land on distinct cores and complete at the max slice
+// completion. With K=1 every path degenerates exactly to the historical
+// single-watermark behavior.
+//
+// Aggregates: busy_until() is the max watermark (all charged work done —
+// host lag, client "everything processed" stamps); earliest_free() is the
+// min watermark (when the next independent unit could start — the right
+// read for "can the compressor take another frame?" flow-control checks).
+// On a single core the two coincide, which is why the historical call sites
+// could use busy_until() for both.
+//
+// Determinism invariant: core count and slice scheduling only move virtual
+// time (completion stamps); they never decide WHAT bytes are produced, so a
+// same-seed run is wire-identical at any K (see DESIGN.md §12).
 #ifndef THINC_SRC_UTIL_CPU_H_
 #define THINC_SRC_UTIL_CPU_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "src/util/event_loop.h"
 #include "src/util/logging.h"
@@ -20,30 +44,128 @@ namespace thinc {
 class CpuAccount {
  public:
   // `speed` is a relative speed factor: work costed for a 1.0x host takes
-  // cost/speed on this host.
-  CpuAccount(EventLoop* loop, double speed) : loop_(loop), speed_(speed) {
+  // cost/speed on this host. `cores` is the number of independent execution
+  // units (default 1: the historical single-watermark host).
+  CpuAccount(EventLoop* loop, double speed, int cores = 1)
+      : loop_(loop), speed_(speed), cores_(static_cast<size_t>(cores)) {
     THINC_CHECK(speed > 0);
+    THINC_CHECK(cores >= 1);
   }
 
   // Charges `cost` microseconds of reference-speed work starting no earlier
-  // than now; returns the completion time.
-  SimTime Charge(double cost_us) {
-    SimTime start = std::max(loop_->now(), busy_until_);
-    SimTime duration = static_cast<SimTime>(cost_us / speed_ + 0.5);
-    busy_until_ = start + duration;
-    total_busy_ += duration;
-    return busy_until_;
+  // than now, on the least-loaded core (lowest index on ties); returns the
+  // completion time.
+  SimTime Charge(double cost_us) { return ChargeOnCore(PickCore(), cost_us); }
+
+  // Charges one work item split into `slices` equal slices that may run
+  // concurrently: each slice is placed with the same least-loaded rule, so
+  // up to `cores()` slices overlap and any excess wraps onto the earliest
+  // cores. Returns the completion time of the LAST slice (the item is done
+  // only when every band is). On a single core the slices serialize and the
+  // fractional-carry arithmetic makes the result bit-identical to one
+  // Charge() of the whole cost.
+  SimTime ChargeParallel(double cost_us, int slices) {
+    THINC_CHECK(slices >= 1);
+    ++parallel_charges_;
+    SimTime done = 0;
+    for (int i = 0; i < slices; ++i) {
+      // Slice costs telescope to exactly cost_us, so splitting never
+      // creates or destroys work relative to a single charge.
+      const double slice = cost_us * (i + 1) / slices - cost_us * i / slices;
+      done = std::max(done, Charge(slice));
+    }
+    return done;
   }
 
-  SimTime busy_until() const { return busy_until_; }
+  // Completion time of ALL work charged so far (max core watermark).
+  SimTime busy_until() const {
+    SimTime t = 0;
+    for (const Core& c : cores_) {
+      t = std::max(t, c.busy_until);
+    }
+    return t;
+  }
+  // Earliest time a core can start new work (min core watermark). This is
+  // the aggregate flow-control checks want: "is a core free soon?" — with
+  // K=1 it equals busy_until().
+  SimTime earliest_free() const {
+    SimTime t = cores_[0].busy_until;
+    for (const Core& c : cores_) {
+      t = std::min(t, c.busy_until);
+    }
+    return t;
+  }
+  // How far behind `now` the most-loaded core runs (0 when idle). The
+  // host-lag metric overload controllers watch.
+  SimTime max_core_lag(SimTime now) const {
+    return std::max<SimTime>(0, busy_until() - now);
+  }
+  SimTime core_busy_until(int core) const {
+    return cores_[static_cast<size_t>(core)].busy_until;
+  }
+
+  // Busy microseconds summed over all cores (a K-core host fully busy for
+  // one second accumulates K seconds).
   SimTime total_busy() const { return total_busy_; }
   double speed() const { return speed_; }
+  int cores() const { return static_cast<int>(cores_.size()); }
+  int64_t charges() const { return charges_; }
+  int64_t parallel_charges() const { return parallel_charges_; }
 
  private:
+  struct Core {
+    SimTime busy_until = 0;
+    // Fractional microseconds not yet materialized as duration. Each charge
+    // books floor(pending + 0.5) and carries the remainder, so repeated
+    // sub-microsecond charges (translate bookkeeping, tiny encodes)
+    // accumulate their true cost instead of rounding to free work, and any
+    // split of one cost into slices books exactly the same total.
+    double carry_us = 0;
+  };
+
+  // Least-loaded core, lowest index on ties — deterministic regardless of
+  // how the loads were produced.
+  size_t PickCore() const {
+    size_t best = 0;
+    for (size_t i = 1; i < cores_.size(); ++i) {
+      if (cores_[i].busy_until < cores_[best].busy_until) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  SimTime ChargeOnCore(size_t core, double cost_us) {
+    Core& c = cores_[core];
+    ++charges_;
+    SimTime start = std::max(loop_->now(), c.busy_until);
+    const double pending = cost_us / speed_ + c.carry_us;
+    // floor(x + 0.5): round half up, remainder in [-0.5, 0.5).
+    SimTime duration = static_cast<SimTime>(pending + 0.5);
+    if (static_cast<double>(duration) > pending + 0.5) {
+      --duration;  // static_cast truncates toward zero; fix negative pending
+    }
+    c.carry_us = pending - static_cast<double>(duration);
+    c.busy_until = start + duration;
+    total_busy_ += duration;
+    return c.busy_until;
+  }
+
   EventLoop* loop_;
   double speed_;
-  SimTime busy_until_ = 0;
+  std::vector<Core> cores_;
   SimTime total_busy_ = 0;
+  int64_t charges_ = 0;
+  int64_t parallel_charges_ = 0;
+};
+
+// Explicitly multi-core host: same account, but the core count is a
+// required constructor argument (FleetHost and benches use this to make the
+// K in "K-core host" visible at the construction site).
+class MultiCoreCpuAccount : public CpuAccount {
+ public:
+  MultiCoreCpuAccount(EventLoop* loop, double speed, int cores)
+      : CpuAccount(loop, speed, cores) {}
 };
 
 // Reference-speed cost constants (microseconds) used across systems. Values

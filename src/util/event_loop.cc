@@ -1,5 +1,6 @@
 #include "src/util/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace thinc {
@@ -11,33 +12,61 @@ EventLoop::EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn)
     when = now_;
   }
   EventId id = next_id_++;
-  queue_.emplace(Key{when, id}, std::move(fn));
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
 bool EventLoop::Cancel(EventId id) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->first.id == id) {
-      queue_.erase(it);
-      return true;
-    }
+  if (live_.erase(id) == 0) {
+    return false;
   }
-  return false;
+  ++cancelled_count_;
+  // The entry stays in the heap as a tombstone until it surfaces; once the
+  // dead outnumber the living, one O(n) sweep reclaims them (amortized O(1)
+  // per cancel).
+  if (heap_.size() > 64 && heap_.size() > 2 * live_.size()) {
+    Compact();
+  }
+  return true;
+}
+
+void EventLoop::Compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return live_.find(e.id) == live_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventLoop::SkimTombstones() {
+  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+void EventLoop::FireTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(top.id);
+  now_ = top.when;
+  ++global_seq_;
+  ++fired_count_;
+  top.fn();
 }
 
 size_t EventLoop::RunUntil(SimTime deadline) {
   size_t fired = 0;
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    if (it->first.when > deadline) {
+  for (;;) {
+    SkimTombstones();
+    if (heap_.empty() || heap_.front().when > deadline) {
       break;
     }
-    now_ = it->first.when;
-    std::function<void()> fn = std::move(it->second);
-    queue_.erase(it);
-    ++global_seq_;
-    ++fired_count_;
-    fn();
+    FireTop();
     ++fired;
   }
   if (now_ < deadline && deadline != INT64_MAX) {
@@ -47,16 +76,11 @@ size_t EventLoop::RunUntil(SimTime deadline) {
 }
 
 bool EventLoop::Step() {
-  if (queue_.empty()) {
+  SkimTombstones();
+  if (heap_.empty()) {
     return false;
   }
-  auto it = queue_.begin();
-  now_ = it->first.when;
-  std::function<void()> fn = std::move(it->second);
-  queue_.erase(it);
-  ++global_seq_;
-  ++fired_count_;
-  fn();
+  FireTop();
   return true;
 }
 

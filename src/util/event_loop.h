@@ -5,13 +5,24 @@
 // makes whole-system experiments deterministic and lets us emulate the
 // paper's testbed timing (bandwidth, RTT, CPU speeds) without wall-clock
 // dependence.
+//
+// The queue is a binary heap ordered by (when, id) with lazy deletion:
+// push/pop are plain vector-heap sifts with no per-swap bookkeeping (the
+// hot path — the simulator is mostly schedule/fire churn), and Cancel() is
+// an O(1) amortized erase from the live-id set, with the dead entry
+// discarded when it surfaces (or at a compaction sweep once tombstones
+// outnumber live events). The original std::map implementation paid a
+// malloc per event and a linear id scan per Cancel; bench_simcore keeps
+// that queue around as the baseline. Because ids increase monotonically,
+// (when, id) order reproduces the map's exact FIFO-at-same-time firing
+// order, so the swap is invisible to every same-seed run.
 #ifndef THINC_SRC_UTIL_EVENT_LOOP_H_
 #define THINC_SRC_UTIL_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
+#include <unordered_set>
+#include <vector>
 
 namespace thinc {
 
@@ -50,11 +61,13 @@ class EventLoop {
   // Runs at most one event; returns false if the queue is empty.
   bool Step();
 
-  bool has_pending() const { return !queue_.empty(); }
-  size_t pending_count() const { return queue_.size(); }
+  bool has_pending() const { return !live_.empty(); }
+  size_t pending_count() const { return live_.size(); }
 
   // Events fired by THIS loop.
   uint64_t fired_count() const { return fired_count_; }
+  // Events cancelled before firing on THIS loop.
+  uint64_t cancelled_count() const { return cancelled_count_; }
 
   // Monotonically increasing sequence of fired events, shared across every
   // loop in the process (the simulation is single-threaded). Incremented
@@ -64,18 +77,39 @@ class EventLoop {
   static uint64_t current_seq() { return global_seq_; }
 
  private:
-  struct Key {
+  struct Entry {
     SimTime when;
     EventId id;
-    bool operator<(const Key& o) const {
-      return when != o.when ? when < o.when : id < o.id;
+    std::function<void()> fn;
+  };
+
+  // std::push_heap/pop_heap build a max-heap, so "later fires first" puts
+  // the earliest (when, id) on top.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return b.when != a.when ? b.when < a.when : b.id < a.id;
     }
   };
+
+  // Discards cancelled entries sitting on top of the heap, so heap_.front()
+  // (if any) is the next live event.
+  void SkimTombstones();
+  // Drops every cancelled entry and rebuilds the heap in O(n).
+  void Compact();
+
+  // Advances the clock to the top event, removes it, and runs its callback.
+  // The single pop path shared by Step() and RunUntil(). Callers ensure a
+  // live event exists (has_pending() after SkimTombstones()).
+  void FireTop();
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t fired_count_ = 0;
-  std::map<Key, std::function<void()>> queue_;
+  uint64_t cancelled_count_ = 0;
+  std::vector<Entry> heap_;
+  // Ids scheduled but not yet fired or cancelled. A heap entry whose id has
+  // left this set is a tombstone.
+  std::unordered_set<EventId> live_;
 
   static uint64_t global_seq_;
 };

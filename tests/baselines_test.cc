@@ -435,6 +435,120 @@ TEST(LocalPcTest, ClickIsImmediate) {
   EXPECT_TRUE(clicked);  // same machine: no network hop
 }
 
+// --- Multi-core flow-control pins -------------------------------------------
+//
+// The busy_until() audit: saturation checks ("can the compressor take this
+// frame?") must read earliest_free(), and per-request release times must be
+// the Charge() return value. These tests pin both aggregates: a single-core
+// host under a 1-second backlog drops video frames exactly as before, while
+// a dual-core host with one pinned core still converts on the idle core.
+
+TEST(MultiCorePinTest, XSystemSingleCoreStillDropsVideoWhenSaturated) {
+  EventLoop loop;
+  XSystem sys(&loop, LanDesktopLink(), 160, 120, MakeXOptions());
+  sys.app_cpu()->Charge(2e6);  // 1 s of backlog at 2.0x speed
+  int32_t stream = sys.api()->VideoStreamCreate(64, 48, Rect{0, 0, 64, 48});
+  Yv12Frame frame = Yv12Frame::Allocate(64, 48);
+  sys.api()->VideoFrame(stream, frame);
+  loop.Run();
+  EXPECT_EQ(sys.VideoFrameTimes().size(), 0u) << "saturated core must drop";
+}
+
+TEST(MultiCorePinTest, XSystemIdleSecondCoreKeepsConvertingVideo) {
+  EventLoop loop;
+  XSystemOptions opts = MakeXOptions();
+  opts.server_cpu_cores = 2;
+  XSystem sys(&loop, LanDesktopLink(), 160, 120, opts);
+  sys.app_cpu()->Charge(2e6);  // pins core 0 for 1 s; core 1 idle
+  int32_t stream = sys.api()->VideoStreamCreate(64, 48, Rect{0, 0, 64, 48});
+  Yv12Frame frame = Yv12Frame::Allocate(64, 48);
+  sys.api()->VideoFrame(stream, frame);
+  loop.Run();
+  EXPECT_EQ(sys.VideoFrameTimes().size(), 1u)
+      << "idle core should take the conversion";
+}
+
+TEST(MultiCorePinTest, RdpSingleCoreSkipsVideoFallbackWhenSaturated) {
+  EventLoop loop;
+  RdpSystem sys(&loop, LanDesktopLink(), 160, 120, MakeRdpOptions(false));
+  loop.Run();
+  const int64_t before = sys.BytesToClient();
+  sys.app_cpu()->Charge(2e6);
+  std::vector<Pixel> px(32 * 32, MakePixel(10, 20, 30));
+  sys.api()->PutImage(kScreenDrawable, Rect{0, 0, 32, 32}, px);
+  loop.Run();
+  EXPECT_EQ(sys.BytesToClient(), before) << "saturated core must skip";
+}
+
+TEST(MultiCorePinTest, RdpIdleSecondCoreStillShipsVideoFallback) {
+  EventLoop loop;
+  RdpOptions opts = MakeRdpOptions(false);
+  opts.server_cpu_cores = 2;
+  RdpSystem sys(&loop, LanDesktopLink(), 160, 120, opts);
+  loop.Run();
+  const int64_t before = sys.BytesToClient();
+  sys.app_cpu()->Charge(2e6);
+  std::vector<Pixel> px(32 * 32, MakePixel(10, 20, 30));
+  sys.api()->PutImage(kScreenDrawable, Rect{0, 0, 32, 32}, px);
+  loop.Run();
+  EXPECT_GT(sys.BytesToClient(), before)
+      << "idle core should take the compression";
+}
+
+TEST(MultiCorePinTest, SunRaySingleCoreSkipsVideoFallbackWhenSaturated) {
+  EventLoop loop;
+  SunRaySystem sys(&loop, LanDesktopLink(), 160, 120, SunRayOptions{});
+  loop.Run();
+  const int64_t before = sys.BytesToClient();
+  sys.app_cpu()->Charge(2e6);
+  std::vector<Pixel> px(32 * 32, MakePixel(10, 20, 30));
+  sys.api()->PutImage(kScreenDrawable, Rect{0, 0, 32, 32}, px);
+  loop.Run();
+  EXPECT_EQ(sys.BytesToClient(), before) << "saturated core must skip";
+}
+
+TEST(MultiCorePinTest, SunRayIdleSecondCoreStillAnalyzesVideoFallback) {
+  EventLoop loop;
+  SunRayOptions opts;
+  opts.server_cpu_cores = 2;
+  SunRaySystem sys(&loop, LanDesktopLink(), 160, 120, opts);
+  loop.Run();
+  const int64_t before = sys.BytesToClient();
+  sys.app_cpu()->Charge(2e6);
+  std::vector<Pixel> px(32 * 32, MakePixel(10, 20, 30));
+  sys.api()->PutImage(kScreenDrawable, Rect{0, 0, 32, 32}, px);
+  loop.Run();
+  EXPECT_GT(sys.BytesToClient(), before)
+      << "idle core should take the analysis";
+}
+
+// NX image requests release at their own encode completion (the Charge()
+// return), not the host-wide busy_until() max: work pinned on the OTHER
+// core must not delay this request's departure.
+TEST(MultiCorePinTest, NxImageReleaseUsesOwnCompletionNotHostMax) {
+  std::vector<Pixel> px(64 * 64, MakePixel(200, 100, 50));
+  auto run = [&](int cores, double unrelated_backlog_us) {
+    EventLoop loop;
+    XSystemOptions opts = MakeNxOptions(false);
+    opts.server_cpu_cores = cores;
+    XSystem sys(&loop, LanDesktopLink(), 160, 120, opts);
+    if (unrelated_backlog_us > 0) {
+      sys.app_cpu()->Charge(unrelated_backlog_us);  // lands on core 0
+    }
+    sys.api()->PutImage(kScreenDrawable, Rect{0, 0, 64, 64}, px);
+    // PutImage aggregates scanline strips; a follow-up op flushes it.
+    sys.api()->FillRect(kScreenDrawable, Rect{0, 100, 8, 8}, kBlack);
+    loop.Run();
+    return sys.LastDeliveryToClient();
+  };
+  const SimTime clean = run(2, 0);
+  // Dual-core with a 1-second unrelated backlog: the image encodes on the
+  // idle core and must arrive at the clean time, not a second late.
+  EXPECT_EQ(run(2, 2e6), clean);
+  // Single-core control: the same backlog genuinely delays the request.
+  EXPECT_GT(run(1, 2e6), clean);
+}
+
 TEST(LocalPcTest, VideoPlaysAtFullQualityLocally) {
   EventLoop loop;
   LocalPcSystem sys(&loop, LanDesktopLink(), 128, 96);

@@ -50,5 +50,143 @@ TEST(CpuAccountTest, FractionalCostRounds) {
   EXPECT_EQ(cpu.Charge(0.6), 1);
 }
 
+// Regression: per-charge rounding used to drop any cost below 0.5/speed µs
+// entirely — 1000 charges of 0.3µs accumulated zero busy time. The carry
+// keeps the fractional remainder, so the total converges on the true cost.
+TEST(CpuAccountTest, SmallChargesCarryFractionsInsteadOfRoundingToZero) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    cpu.Charge(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(cpu.total_busy()), 300.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(cpu.busy_until()), 300.0, 1.0);
+}
+
+// The carry stays bounded in [-0.5, 0.5), so the running busy_until never
+// drifts more than half a microsecond from the exact fractional sum.
+TEST(CpuAccountTest, CarryKeepsBusyUntilWithinHalfMicrosecondOfExact) {
+  EventLoop loop;
+  CpuAccount cpu(&loop, 2.0);  // scaled cost 0.35µs per charge
+  double exact = 0;
+  for (int i = 0; i < 500; ++i) {
+    cpu.Charge(0.7);
+    exact += 0.35;
+    EXPECT_NEAR(static_cast<double>(cpu.busy_until()), exact, 0.5 + 1e-9);
+  }
+}
+
+// --- Multi-core -------------------------------------------------------------
+
+TEST(MultiCoreCpuTest, TieBreaksToLowestIndex) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 4);
+  // All cores idle at 0: the first charge must land on core 0.
+  cpu.Charge(10);
+  EXPECT_EQ(cpu.core_busy_until(0), 10);
+  EXPECT_EQ(cpu.core_busy_until(1), 0);
+  EXPECT_EQ(cpu.core_busy_until(2), 0);
+  EXPECT_EQ(cpu.core_busy_until(3), 0);
+  // Cores 1-3 now tie at 0: next charge lands on core 1, and so on.
+  cpu.Charge(20);
+  EXPECT_EQ(cpu.core_busy_until(1), 20);
+  cpu.Charge(30);
+  EXPECT_EQ(cpu.core_busy_until(2), 30);
+}
+
+TEST(MultiCoreCpuTest, IndependentChargesOverlapAcrossCores) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 2);
+  EXPECT_EQ(cpu.Charge(100), 100);
+  EXPECT_EQ(cpu.Charge(100), 100);  // second core, concurrent
+  EXPECT_EQ(cpu.Charge(100), 200);  // both busy: queues on core 0
+  EXPECT_EQ(cpu.busy_until(), 200);
+  EXPECT_EQ(cpu.earliest_free(), 100);  // core 1 frees first
+  EXPECT_EQ(cpu.total_busy(), 300);
+}
+
+TEST(MultiCoreCpuTest, LeastLoadedCoreWins) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 2);
+  cpu.Charge(100);  // core 0 -> 100
+  cpu.Charge(40);   // core 1 -> 40
+  // Core 1 frees first; the next charge must queue there.
+  EXPECT_EQ(cpu.Charge(10), 50);
+  EXPECT_EQ(cpu.core_busy_until(0), 100);
+  EXPECT_EQ(cpu.core_busy_until(1), 50);
+}
+
+TEST(MultiCoreCpuTest, AggregatesDistinguishMaxAndMin) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 3);
+  cpu.Charge(90);
+  cpu.Charge(30);
+  EXPECT_EQ(cpu.busy_until(), 90);    // all work done
+  EXPECT_EQ(cpu.earliest_free(), 0);  // core 2 never charged
+  EXPECT_EQ(cpu.max_core_lag(0), 90);
+  EXPECT_EQ(cpu.max_core_lag(100), 0);
+}
+
+TEST(MultiCoreCpuTest, SingleCoreMatchesHistoricalBehavior) {
+  EventLoop loop;
+  CpuAccount single(&loop, 1.0);
+  MultiCoreCpuAccount multi(&loop, 1.0, 1);
+  for (double cost : {100.0, 0.6, 33.3, 7.0, 0.25}) {
+    EXPECT_EQ(single.Charge(cost), multi.Charge(cost));
+  }
+  EXPECT_EQ(single.busy_until(), multi.busy_until());
+  EXPECT_EQ(single.total_busy(), multi.total_busy());
+}
+
+// --- Parallel slices --------------------------------------------------------
+
+TEST(ChargeParallelTest, SlicesLandOnDistinctCoresAndFinishTogether) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 4);
+  EXPECT_EQ(cpu.ChargeParallel(400, 4), 100);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cpu.core_busy_until(i), 100) << "core " << i;
+  }
+  EXPECT_EQ(cpu.total_busy(), 400);  // no work created or destroyed
+}
+
+TEST(ChargeParallelTest, CompletionIsMaxSliceNotFirst) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 2);
+  cpu.Charge(10);  // core 0 mildly pre-loaded
+  // Two slices of 50: the first lands on idle core 1 (done at 50), the
+  // second on core 0 (10 < 50; done at 60). The item completes when the
+  // LAST band does, not when the first slice returns.
+  EXPECT_EQ(cpu.ChargeParallel(100, 2), 60);
+  EXPECT_EQ(cpu.core_busy_until(0), 60);
+  EXPECT_EQ(cpu.core_busy_until(1), 50);
+}
+
+TEST(ChargeParallelTest, ExcessSlicesWrapOntoEarliestCores) {
+  EventLoop loop;
+  MultiCoreCpuAccount cpu(&loop, 1.0, 2);
+  // Four 25µs slices on two cores: two per core, all done at 50.
+  EXPECT_EQ(cpu.ChargeParallel(100, 4), 50);
+  EXPECT_EQ(cpu.core_busy_until(0), 50);
+  EXPECT_EQ(cpu.core_busy_until(1), 50);
+}
+
+// Splitting on a single core must be EXACTLY one whole charge: the carry
+// makes progressive rounding telescope to the single-rounding result, which
+// is what keeps K=1 wire timing identical whether or not slicing is enabled.
+TEST(ChargeParallelTest, SingleCoreSlicingIdenticalToOneCharge) {
+  EventLoop loop;
+  for (double cost : {1000.7, 333.333, 17.0, 2048.25}) {
+    for (int slices : {2, 3, 4, 7}) {
+      CpuAccount whole(&loop, 2.0);
+      CpuAccount sliced(&loop, 2.0);
+      SimTime a = whole.Charge(cost);
+      SimTime b = sliced.ChargeParallel(cost, slices);
+      EXPECT_EQ(a, b) << "cost=" << cost << " slices=" << slices;
+      EXPECT_EQ(whole.total_busy(), sliced.total_busy());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace thinc
