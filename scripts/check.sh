@@ -25,7 +25,7 @@ esac
 # Tests exercising the zero-copy buffer architecture end to end: buffer
 # primitives, command encode caches, offscreen queue-copy CoW, shared-session
 # frame reuse, and the segment-queue send path.
-SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet'
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay'
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== tier-1: default preset build + full ctest =="
@@ -45,6 +45,12 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # time are identical (shared-CPU/NIC arbitration must be unperturbed).
   echo "== fleet smoke: bench_fleet_capacity --smoke =="
   ./build/bench/bench_fleet_capacity --smoke
+
+  # Transport smoke: a co-located web run over the loopback transport;
+  # THINC_CHECKs that frame payload moved by reference (payload bytes > 0
+  # with ZERO memcpy'd payload bytes — the zero-copy handoff gate).
+  echo "== transport smoke: bench_transport --smoke =="
+  ./build/bench/bench_transport --smoke
 
   # Simulator-core smoke: the lazy-delete heap queue must fire the exact
   # transcript of the std::map baseline on churn and cancel-heavy workloads,

@@ -9,7 +9,7 @@ LocalPcSystem::LocalPcSystem(EventLoop* loop, const LinkParams& link,
     : loop_(loop), client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
       fetch_queue_(
-          std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
+          std::make_unique<SendQueue>(loop, conn_.get(), Transport::kServer)),
       driver_(std::make_unique<LocalVideoDriver>(this)) {
   ws_ = std::make_unique<WindowServer>(screen_width, screen_height, driver_.get(),
                                        &client_cpu_);

@@ -41,10 +41,10 @@ class LocalPcSystem : public RemoteDisplaySystem {
   void FetchContent(int64_t bytes) override;
 
   int64_t BytesToClient() const override {
-    return conn_->BytesDeliveredTo(Connection::kClient);
+    return conn_->BytesDeliveredTo(Transport::kClient);
   }
   SimTime LastDeliveryToClient() const override {
-    return conn_->LastDeliveryTo(Connection::kClient);
+    return conn_->LastDeliveryTo(Transport::kClient);
   }
   SimTime ClientLastProcessedAt() const override { return client_cpu_.busy_until(); }
   const std::vector<SimTime>& VideoFrameTimes() const override {
@@ -77,7 +77,7 @@ class LocalPcSystem : public RemoteDisplaySystem {
 
   EventLoop* loop_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;  // client <-> web server
+  std::unique_ptr<Transport> conn_;  // client <-> web server
   std::unique_ptr<SendQueue> fetch_queue_;
   std::unique_ptr<LocalVideoDriver> driver_;
   std::unique_ptr<WindowServer> ws_;

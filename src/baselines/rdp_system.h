@@ -65,10 +65,10 @@ class RdpSystem : public RemoteDisplaySystem {
   void SetVideoProbeRect(const Rect& rect) override { probe_rect_ = rect; }
 
   int64_t BytesToClient() const override {
-    return conn_->BytesDeliveredTo(Connection::kClient);
+    return conn_->BytesDeliveredTo(Transport::kClient);
   }
   SimTime LastDeliveryToClient() const override {
-    return conn_->LastDeliveryTo(Connection::kClient);
+    return conn_->LastDeliveryTo(Transport::kClient);
   }
   SimTime ClientLastProcessedAt() const override { return client_processed_at_; }
   const std::vector<SimTime>& VideoFrameTimes() const override {
@@ -118,7 +118,7 @@ class RdpSystem : public RemoteDisplaySystem {
   RdpOptions options_;
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Transport> conn_;
   std::unique_ptr<SendQueue> out_;
   std::unique_ptr<RdpDriver> driver_;
   std::unique_ptr<WindowServer> server_ws_;

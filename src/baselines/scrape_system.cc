@@ -41,20 +41,20 @@ ScrapeSystem::ScrapeSystem(EventLoop* loop, const LinkParams& link,
     leg.rtt = link.rtt / 2;
     conn_ = std::make_unique<Connection>(loop, leg);
     conn_client_ = std::make_unique<Connection>(loop, leg);
-    relay_ = std::make_unique<Relay>(conn_.get(), Connection::kClient,
-                                     conn_client_.get(), Connection::kServer);
-    conn_client_->SetReceiver(Connection::kClient,
+    relay_ = std::make_unique<Relay>(conn_.get(), Transport::kClient,
+                                     conn_client_.get(), Transport::kServer);
+    conn_client_->SetReceiver(Transport::kClient,
                               [this](std::span<const uint8_t> d) {
                                 OnClientReceive(d);
                               });
   } else {
     conn_ = std::make_unique<Connection>(loop, link);
-    conn_->SetReceiver(Connection::kClient,
+    conn_->SetReceiver(Transport::kClient,
                        [this](std::span<const uint8_t> d) { OnClientReceive(d); });
   }
-  conn_->SetReceiver(Connection::kServer,
+  conn_->SetReceiver(Transport::kServer,
                      [this](std::span<const uint8_t> d) { OnServerReceive(d); });
-  out_ = std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer);
+  out_ = std::make_unique<SendQueue>(loop, conn_.get(), Transport::kServer);
   driver_ = std::make_unique<ScrapeDriver>(this);
   server_ws_ = std::make_unique<WindowServer>(screen_width, screen_height,
                                               driver_.get(), &server_cpu_);
@@ -64,7 +64,7 @@ ScrapeSystem::ScrapeSystem(EventLoop* loop, const LinkParams& link,
 
 void ScrapeSystem::ClientRequestUpdate() {
   std::vector<uint8_t> frame = BuildFrame(static_cast<MsgType>(Msg::kRequest), {});
-  client_leg()->Send(Connection::kClient, frame);
+  client_leg()->Send(Transport::kClient, frame);
 }
 
 void ScrapeSystem::SetViewport(int32_t width, int32_t height) {
@@ -150,7 +150,7 @@ void ScrapeSystem::ClientClick(Point location) {
   WireWriter w;
   w.PointVal(location);
   std::vector<uint8_t> payload = w.Take();
-  client_leg()->Send(Connection::kClient,
+  client_leg()->Send(Transport::kClient,
                      BuildFrame(static_cast<MsgType>(Msg::kInput), payload));
 }
 
@@ -273,11 +273,11 @@ void ScrapeSystem::HandleUpdate(std::span<const uint8_t> payload) {
 }
 
 int64_t ScrapeSystem::BytesToClient() const {
-  return client_leg()->BytesDeliveredTo(Connection::kClient);
+  return client_leg()->BytesDeliveredTo(Transport::kClient);
 }
 
 SimTime ScrapeSystem::LastDeliveryToClient() const {
-  return client_leg()->LastDeliveryTo(Connection::kClient);
+  return client_leg()->LastDeliveryTo(Transport::kClient);
 }
 
 }  // namespace thinc

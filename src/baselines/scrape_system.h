@@ -112,7 +112,7 @@ class ScrapeSystem : public RemoteDisplaySystem {
   void OnClientReceive(std::span<const uint8_t> data);
   void OnServerReceive(std::span<const uint8_t> data);
   void HandleUpdate(std::span<const uint8_t> payload);
-  Connection* client_leg() const {
+  Transport* client_leg() const {
     return options_.relay ? conn_client_.get() : conn_.get();
   }
 
@@ -120,8 +120,8 @@ class ScrapeSystem : public RemoteDisplaySystem {
   ScrapeOptions options_;
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;         // server <-> client (or relay)
-  std::unique_ptr<Connection> conn_client_;  // relay <-> client (relay mode)
+  std::unique_ptr<Transport> conn_;         // server <-> client (or relay)
+  std::unique_ptr<Transport> conn_client_;  // relay <-> client (relay mode)
   std::unique_ptr<Relay> relay_;
   std::unique_ptr<SendQueue> out_;
   std::unique_ptr<ScrapeDriver> driver_;

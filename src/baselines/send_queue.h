@@ -27,7 +27,7 @@ namespace thinc {
 
 class SendQueue {
  public:
-  SendQueue(EventLoop* loop, Connection* conn, int endpoint)
+  SendQueue(EventLoop* loop, Transport* conn, int endpoint)
       : loop_(loop), conn_(conn), endpoint_(endpoint) {
     conn_->SetWritable(endpoint_, [this] { Pump(); });
   }
@@ -99,7 +99,7 @@ class SendQueue {
   }
 
   EventLoop* loop_;
-  Connection* conn_;
+  Transport* conn_;
   int endpoint_;
   std::deque<Item> queue_;
   size_t queued_bytes_ = 0;

@@ -16,14 +16,14 @@ SunRaySystem::SunRaySystem(EventLoop* loop, const LinkParams& link,
       server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
-      out_(std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
+      out_(std::make_unique<SendQueue>(loop, conn_.get(), Transport::kServer)),
       driver_(std::make_unique<SunRayDriver>(this)),
       client_fb_(screen_width, screen_height, kBlack) {
   server_ws_ = std::make_unique<WindowServer>(screen_width, screen_height,
                                               driver_.get(), &server_cpu_);
-  conn_->SetReceiver(Connection::kClient,
+  conn_->SetReceiver(Transport::kClient,
                      [this](std::span<const uint8_t> d) { OnClientReceive(d); });
-  conn_->SetReceiver(Connection::kServer,
+  conn_->SetReceiver(Transport::kServer,
                      [this](std::span<const uint8_t> d) { OnServerReceive(d); });
 }
 
@@ -165,7 +165,7 @@ void SunRaySystem::ClientClick(Point location) {
   WireWriter w;
   w.PointVal(location);
   std::vector<uint8_t> payload = w.Take();
-  conn_->Send(Connection::kClient,
+  conn_->Send(Transport::kClient,
               BuildFrame(static_cast<MsgType>(Msg::kInput), payload));
 }
 

@@ -50,10 +50,10 @@ class SunRaySystem : public RemoteDisplaySystem {
   void SetVideoProbeRect(const Rect& rect) override { probe_rect_ = rect; }
 
   int64_t BytesToClient() const override {
-    return conn_->BytesDeliveredTo(Connection::kClient);
+    return conn_->BytesDeliveredTo(Transport::kClient);
   }
   SimTime LastDeliveryToClient() const override {
-    return conn_->LastDeliveryTo(Connection::kClient);
+    return conn_->LastDeliveryTo(Transport::kClient);
   }
   SimTime ClientLastProcessedAt() const override { return client_processed_at_; }
   const std::vector<SimTime>& VideoFrameTimes() const override {
@@ -140,7 +140,7 @@ class SunRaySystem : public RemoteDisplaySystem {
   SunRayOptions options_;
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Transport> conn_;
   std::unique_ptr<SendQueue> out_;
   std::unique_ptr<SunRayDriver> driver_;
   std::unique_ptr<WindowServer> server_ws_;

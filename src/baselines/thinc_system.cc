@@ -6,10 +6,10 @@ ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
                          int32_t screen_width, int32_t screen_height,
                          ThincServerOptions server_options,
                          ThincClientOptions client_options,
-                         int server_cpu_cores)
+                         int server_cpu_cores, TransportKind transport_kind)
     : loop_(loop), server_cpu_(loop, kServerCpuSpeed, server_cpu_cores),
-      client_cpu_(loop, kClientCpuSpeed),
-      conn_(std::make_unique<Connection>(loop, link)) {
+      client_cpu_(loop, kClientCpuSpeed), link_(link),
+      transport_kind_(transport_kind), conn_(MakeTransport()) {
   // Keep push/pull settings coherent across the pair.
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
@@ -18,7 +18,12 @@ ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
   window_server_ = std::make_unique<WindowServer>(screen_width, screen_height,
                                                   server_.get(), &server_cpu_);
   server_->AttachWindowServer(window_server_.get());
-  client_ = std::make_unique<ThincClient>(loop, conn_.get(), &client_cpu_,
+  // A co-located client decodes on the server host's CPU; a remote one on
+  // its own terminal.
+  CpuAccount* client_cpu = transport_kind == TransportKind::kLoopback
+                               ? &server_cpu_
+                               : &client_cpu_;
+  client_ = std::make_unique<ThincClient>(loop, conn_.get(), client_cpu,
                                           screen_width, screen_height,
                                           client_options);
   server_->SetInputHandler([this](Point p, int32_t button) {
@@ -31,13 +36,21 @@ ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
   });
 }
 
-Connection* ThincSystem::Reconnect(const LinkParams& link) {
+std::unique_ptr<Transport> ThincSystem::MakeTransport() {
+  if (transport_kind_ == TransportKind::kLoopback) {
+    return std::make_unique<LoopbackTransport>(loop_, &server_cpu_);
+  }
+  return std::make_unique<Connection>(loop_, link_);
+}
+
+Transport* ThincSystem::Reconnect(const LinkParams& link) {
   if (!conn_->closed()) {
-    // Reconnecting over a live connection implies abandoning it first.
+    // Reconnecting over a live transport implies abandoning it first.
     conn_->Reset();
   }
   retired_conns_.push_back(std::move(conn_));
-  conn_ = std::make_unique<Connection>(loop_, link);
+  link_ = link;
+  conn_ = MakeTransport();
   server_->Attach(conn_.get());
   client_->Attach(conn_.get());
   return conn_.get();

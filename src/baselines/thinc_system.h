@@ -13,6 +13,7 @@
 #include "src/core/thinc_server.h"
 #include "src/display/window_server.h"
 #include "src/net/connection.h"
+#include "src/net/loopback.h"
 
 namespace thinc {
 
@@ -20,10 +21,14 @@ class ThincSystem : public RemoteDisplaySystem {
  public:
   // `server_cpu_cores` models a K-core server host (the paper's server is a
   // dual-CPU PIII); it changes only virtual timing, never wire bytes.
+  // `transport_kind` selects the wire (default) or a same-host loopback
+  // transport; a loopback session's client decodes on the server host CPU
+  // (it IS the host) and `link` only matters for later wire Reconnects.
   ThincSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
               int32_t screen_height, ThincServerOptions server_options = {},
               ThincClientOptions client_options = {},
-              int server_cpu_cores = 1);
+              int server_cpu_cores = 1,
+              TransportKind transport_kind = TransportKind::kWire);
 
   std::string name() const override { return "THINC"; }
   DrawingApi* api() override { return window_server_.get(); }
@@ -40,15 +45,15 @@ class ThincSystem : public RemoteDisplaySystem {
   }
 
   int64_t BytesToClient() const override {
-    // Lifetime total across every connection the session has used.
-    int64_t total = conn_->BytesDeliveredTo(Connection::kClient);
+    // Lifetime total across every transport the session has used.
+    int64_t total = conn_->BytesDeliveredTo(Transport::kClient);
     for (const auto& c : retired_conns_) {
-      total += c->BytesDeliveredTo(Connection::kClient);
+      total += c->BytesDeliveredTo(Transport::kClient);
     }
     return total;
   }
   SimTime LastDeliveryToClient() const override {
-    return conn_->LastDeliveryTo(Connection::kClient);
+    return conn_->LastDeliveryTo(Transport::kClient);
   }
   SimTime ClientLastProcessedAt() const override {
     return client_->last_processed_at();
@@ -59,13 +64,13 @@ class ThincSystem : public RemoteDisplaySystem {
     return &client_->framebuffer();
   }
 
-  // Replaces the (typically reset) connection with a fresh one over `link`
-  // and reattaches server and client to it. The old connection is retired,
-  // not destroyed: its in-loop events may still fire (harmlessly, thanks to
-  // stale-connection guards) and its traces stay readable for per-phase
-  // stats. Returns the new connection.
-  Connection* Reconnect(const LinkParams& link);
-  const std::vector<std::unique_ptr<Connection>>& retired_connections() const {
+  // Replaces the (typically reset) transport with a fresh one of the same
+  // kind (over `link` for the wire) and reattaches server and client to it.
+  // The old transport is retired, not destroyed: its in-loop events may
+  // still fire (harmlessly, thanks to stale-connection guards) and its
+  // traces stay readable for per-phase stats. Returns the new transport.
+  Transport* Reconnect(const LinkParams& link);
+  const std::vector<std::unique_ptr<Transport>>& retired_connections() const {
     return retired_conns_;
   }
 
@@ -73,17 +78,22 @@ class ThincSystem : public RemoteDisplaySystem {
   WindowServer* window_server() { return window_server_.get(); }
   ThincServer* server() { return server_.get(); }
   ThincClient* client() { return client_.get(); }
-  Connection* connection() { return conn_.get(); }
+  Transport* connection() { return conn_.get(); }
   CpuAccount* client_cpu() { return &client_cpu_; }
 
  private:
+  // Builds a fresh transport of this system's kind over the current link.
+  std::unique_ptr<Transport> MakeTransport();
+
   EventLoop* loop_;
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;
-  // Dead connections outlive their replacement: scheduled loop events
+  LinkParams link_;
+  TransportKind transport_kind_;
+  std::unique_ptr<Transport> conn_;
+  // Dead transports outlive their replacement: scheduled loop events
   // capture raw pointers into them, and robustness stats read their traces.
-  std::vector<std::unique_ptr<Connection>> retired_conns_;
+  std::vector<std::unique_ptr<Transport>> retired_conns_;
   std::unique_ptr<ThincServer> server_;
   std::unique_ptr<WindowServer> window_server_;
   std::unique_ptr<ThincClient> client_;

@@ -49,12 +49,12 @@ XSystem::XSystem(EventLoop* loop, const LinkParams& link, int32_t screen_width,
       server_cpu_(loop, kServerCpuSpeed, options_.server_cpu_cores),
       client_cpu_(loop, kClientCpuSpeed),
       conn_(std::make_unique<Connection>(loop, link)),
-      out_(std::make_unique<SendQueue>(loop, conn_.get(), Connection::kServer)),
+      out_(std::make_unique<SendQueue>(loop, conn_.get(), Transport::kServer)),
       client_ws_(std::make_unique<WindowServer>(screen_width, screen_height,
                                                 /*driver=*/nullptr, &client_cpu_)) {
-  conn_->SetReceiver(Connection::kClient,
+  conn_->SetReceiver(Transport::kClient,
                      [this](std::span<const uint8_t> d) { OnClientReceive(d); });
-  conn_->SetReceiver(Connection::kServer,
+  conn_->SetReceiver(Transport::kServer,
                      [this](std::span<const uint8_t> d) { OnServerReceive(d); });
 }
 
@@ -318,7 +318,7 @@ void XSystem::ClientClick(Point location) {
   std::vector<uint8_t> payload = w.Take();
   std::vector<uint8_t> frame =
       BuildFrame(static_cast<MsgType>(XMsg::kInput), payload);
-  conn_->Send(Connection::kClient, frame);
+  conn_->Send(Transport::kClient, frame);
 }
 
 void XSystem::OnServerReceive(std::span<const uint8_t> data) {

@@ -62,10 +62,10 @@ class XSystem : public RemoteDisplaySystem, public DrawingApi {
   void SetInputCallback(InputFn fn) override { input_fn_ = std::move(fn); }
   void SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp) override;
   int64_t BytesToClient() const override {
-    return conn_->BytesDeliveredTo(Connection::kClient);
+    return conn_->BytesDeliveredTo(Transport::kClient);
   }
   SimTime LastDeliveryToClient() const override {
-    return conn_->LastDeliveryTo(Connection::kClient);
+    return conn_->LastDeliveryTo(Transport::kClient);
   }
   SimTime ClientLastProcessedAt() const override { return client_processed_at_; }
   const std::vector<SimTime>& VideoFrameTimes() const override {
@@ -138,7 +138,7 @@ class XSystem : public RemoteDisplaySystem, public DrawingApi {
   int32_t height_;
   CpuAccount server_cpu_;
   CpuAccount client_cpu_;
-  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Transport> conn_;
   std::unique_ptr<SendQueue> out_;
   std::unique_ptr<WindowServer> client_ws_;  // runs on the client host
 

@@ -173,6 +173,26 @@ SharedSessionHost::Viewer* SharedSessionHost::AddViewer(
   auto viewer = std::make_unique<Viewer>();
   viewer->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
   viewer->conn = std::make_unique<Connection>(loop_, link);
+  CpuAccount* client_cpu = viewer->client_cpu.get();
+  return FinishViewer(std::move(viewer), client_cpu, server_options,
+                      client_options);
+}
+
+SharedSessionHost::Viewer* SharedSessionHost::AddLocalViewer(
+    LoopbackOptions loopback, ThincServerOptions server_options,
+    ThincClientOptions client_options) {
+  auto viewer = std::make_unique<Viewer>();
+  // Co-located: frames reach the client as ref-counted handoffs, and the
+  // client decodes on the same machine the session runs on, so its work
+  // shares the host CPU instead of a remote terminal's.
+  viewer->conn = std::make_unique<LoopbackTransport>(loop_, &host_cpu_, loopback);
+  return FinishViewer(std::move(viewer), &host_cpu_, server_options,
+                      client_options);
+}
+
+SharedSessionHost::Viewer* SharedSessionHost::FinishViewer(
+    std::unique_ptr<Viewer> viewer, CpuAccount* client_cpu,
+    ThincServerOptions server_options, ThincClientOptions client_options) {
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
   // All viewers share one encoded-frame cache: a frame encoded for any
@@ -185,7 +205,7 @@ SharedSessionHost::Viewer* SharedSessionHost::AddViewer(
                                                  &host_cpu_, server_options);
   viewer->server->AttachWindowServer(window_server_.get());
   viewer->client = std::make_unique<ThincClient>(
-      loop_, viewer->conn.get(), viewer->client_cpu.get(),
+      loop_, viewer->conn.get(), client_cpu,
       window_server_->screen_width(), window_server_->screen_height(),
       client_options);
   viewer->server->SetInputHandler([this](Point p, int32_t) {

@@ -23,6 +23,7 @@
 #include "src/core/thinc_server.h"
 #include "src/display/window_server.h"
 #include "src/net/connection.h"
+#include "src/net/loopback.h"
 
 namespace thinc {
 
@@ -78,9 +79,11 @@ class BroadcastDriver : public DisplayDriver {
 class SharedSessionHost {
  public:
   struct Viewer {
-    std::unique_ptr<Connection> conn;
+    std::unique_ptr<Transport> conn;
     std::unique_ptr<ThincServer> server;
     std::unique_ptr<ThincClient> client;
+    // Remote viewers decode on their own terminal (1.0x); null for local
+    // viewers, whose client work lands on the shared host CPU.
     std::unique_ptr<CpuAccount> client_cpu;
   };
 
@@ -95,6 +98,13 @@ class SharedSessionHost {
   // viewer immediately receives a full refresh (the late-join path).
   Viewer* AddViewer(const LinkParams& link, ThincServerOptions server_options = {},
                     ThincClientOptions client_options = {});
+  // Adds a co-located viewer: a LoopbackTransport hands encoded frames to
+  // the client by reference (no wire, no copies), and both the handoffs and
+  // the client's decode work are charged to the shared host CPU — the
+  // "second head on the same machine" collaboration setup.
+  Viewer* AddLocalViewer(LoopbackOptions loopback = {},
+                         ThincServerOptions server_options = {},
+                         ThincClientOptions client_options = {});
   // Disconnects a viewer (the session keeps running for the others).
   void RemoveViewer(Viewer* viewer);
 
@@ -111,6 +121,13 @@ class SharedSessionHost {
   void SubmitAudio(std::span<const uint8_t> pcm, SimTime timestamp);
 
  private:
+  // Shared tail of AddViewer/AddLocalViewer: builds server and client over
+  // the viewer's transport (already set) and wires them into the broadcast
+  // fan-out and the late-join refresh.
+  Viewer* FinishViewer(std::unique_ptr<Viewer> viewer, CpuAccount* client_cpu,
+                       ThincServerOptions server_options,
+                       ThincClientOptions client_options);
+
   EventLoop* loop_;
   CpuAccount host_cpu_;
   BroadcastDriver broadcast_;

@@ -15,7 +15,7 @@ constexpr uint8_t kTransportKey[16] = {0x54, 0x48, 0x49, 0x4E, 0x43, 0x2D, 0x4B,
 
 }  // namespace
 
-ThincClient::ThincClient(EventLoop* loop, Connection* conn, CpuAccount* cpu,
+ThincClient::ThincClient(EventLoop* loop, Transport* conn, CpuAccount* cpu,
                          int32_t fb_width, int32_t fb_height,
                          ThincClientOptions options)
     : loop_(loop), conn_(conn), cpu_(cpu), options_(options),
@@ -37,16 +37,16 @@ ThincClient::ThincClient(EventLoop* loop, Connection* conn, CpuAccount* cpu,
 }
 
 void ThincClient::BindConnection() {
-  conn_->SetReceiver(Connection::kClient,
+  conn_->SetReceiver(Transport::kClient,
                      [this](std::span<const uint8_t> data) { OnReceive(data); });
-  conn_->SetClosed(Connection::kClient, [this, c = conn_] {
+  conn_->SetClosed(Transport::kClient, [this, c = conn_] {
     if (c == conn_) {  // a retired connection's late notification is moot
       connected_ = false;
     }
   });
 }
 
-void ThincClient::Attach(Connection* conn) {
+void ThincClient::Attach(Transport* conn) {
   conn_ = conn;
   connected_ = true;
   // Transport state died with the old connection: half-parsed frame bytes,
@@ -79,7 +79,7 @@ bool ThincClient::SendFrame(std::vector<uint8_t> frame) {
   if (tx_cipher_.has_value()) {
     tx_cipher_->Process(frame, frame);
   }
-  size_t sent = conn_->Send(Connection::kClient, frame);
+  size_t sent = conn_->Send(Transport::kClient, frame);
   THINC_CHECK_MSG(sent == frame.size(), "control channel backed up");
   return true;
 }

@@ -17,7 +17,7 @@
 
 #include "src/codec/rc4.h"
 #include "src/core/command.h"
-#include "src/net/connection.h"
+#include "src/net/transport.h"
 #include "src/protocol/wire.h"
 #include "src/raster/surface.h"
 #include "src/raster/yuv.h"
@@ -49,7 +49,7 @@ struct AudioChunkArrival {
 
 class ThincClient {
  public:
-  ThincClient(EventLoop* loop, Connection* conn, CpuAccount* cpu, int32_t fb_width,
+  ThincClient(EventLoop* loop, Transport* conn, CpuAccount* cpu, int32_t fb_width,
               int32_t fb_height, ThincClientOptions options = {});
 
   const Surface& framebuffer() const { return framebuffer_; }
@@ -68,7 +68,7 @@ class ThincClient {
   // Attach() rebinds to a fresh connection and renegotiates the session —
   // viewport (which triggers the server's full-screen resync update) and
   // cursor position; in pull mode it also re-arms the update request.
-  void Attach(Connection* conn);
+  void Attach(Transport* conn);
   bool connected() const { return connected_; }
 
   // --- Measurement -------------------------------------------------------------
@@ -111,7 +111,7 @@ class ThincClient {
   bool SendFrame(std::vector<uint8_t> frame);
 
   EventLoop* loop_;
-  Connection* conn_;
+  Transport* conn_;
   CpuAccount* cpu_;
   ThincClientOptions options_;
   Surface framebuffer_;

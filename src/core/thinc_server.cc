@@ -48,7 +48,7 @@ constexpr SimTime kDegradedStarvationLimit = 300 * kMillisecond;
 
 }  // namespace
 
-ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
+ThincServer::ThincServer(EventLoop* loop, Transport* conn, CpuAccount* cpu,
                          ThincServerOptions options)
     : loop_(loop), conn_(conn), cpu_(cpu), options_(options),
       scheduler_(options.scheduler) {
@@ -70,10 +70,10 @@ ThincServer::ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
 }
 
 void ThincServer::BindConnection() {
-  conn_->SetReceiver(Connection::kServer,
+  conn_->SetReceiver(Transport::kServer,
                      [this](std::span<const uint8_t> data) { OnReceive(data); });
-  conn_->SetWritable(Connection::kServer, [this] { ScheduleFlush(0); });
-  conn_->SetClosed(Connection::kServer, [this, c = conn_] {
+  conn_->SetWritable(Transport::kServer, [this] { ScheduleFlush(0); });
+  conn_->SetClosed(Transport::kServer, [this, c = conn_] {
     if (c == conn_) {  // stale notifications from retired connections are moot
       OnConnectionClosed();
     }
@@ -101,7 +101,7 @@ void ThincServer::OnConnectionClosed() {
   video_queue_.clear();
 }
 
-void ThincServer::Attach(Connection* conn) {
+void ThincServer::Attach(Transport* conn) {
   conn_ = conn;
   connected_ = true;
   ++reconnects_;
@@ -600,7 +600,7 @@ void ThincServer::ScheduleFlush(SimTime delay) {
 }
 
 size_t ThincServer::CommitBytes(const ByteBuffer& bytes, size_t* cursor) {
-  size_t space = conn_->FreeSpace(Connection::kServer);
+  size_t space = conn_->FreeSpace(Transport::kServer);
   size_t n = std::min(space, bytes.size() - *cursor);
   if (n == 0) {
     return 0;
@@ -613,10 +613,10 @@ size_t ThincServer::CommitBytes(const ByteBuffer& bytes, size_t* cursor) {
     BufferStats::Get().NoteCopy(static_cast<int64_t>(n));
     tx_cipher_->Process(chunk, chunk);
     cpu_->Charge(cpucost::kRc4PerByte * static_cast<double>(n));
-    sent = conn_->Send(Connection::kServer, chunk);
+    sent = conn_->Send(Transport::kServer, chunk);
   } else {
     // Zero-copy commit: the connection queues a view of the encoded frame.
-    sent = conn_->Send(Connection::kServer, bytes.Slice(*cursor, n));
+    sent = conn_->Send(Transport::kServer, bytes.Slice(*cursor, n));
   }
   THINC_CHECK(sent == n);  // we never offer more than FreeSpace()
   *cursor += n;
@@ -781,7 +781,7 @@ void ThincServer::Flush() {
         stores->Inc();
         options_.shared_frame_cache->Store(pending_cache_key_, frame.Share());
       }
-      size_t space = conn_->FreeSpace(Connection::kServer);
+      size_t space = conn_->FreeSpace(Transport::kServer);
       if (frame.size() <= space) {
         size_t cursor = 0;
         size_t n = CommitBytes(frame, &cursor);
@@ -828,7 +828,7 @@ void ThincServer::Flush() {
     // tiny and ordering-critical). The writable callback resumes the flush
     // as the socket drains.
     if (degradation_level_ > 0 &&
-        conn_->SendBufferCapacity() - conn_->FreeSpace(Connection::kServer) >
+        conn_->SendBufferCapacity() - conn_->FreeSpace(Transport::kServer) >
             kSocketBacklogBudget[degradation_level_]) {
       break;
     }

@@ -40,7 +40,7 @@
 #include "src/core/scheduler.h"
 #include "src/display/driver.h"
 #include "src/display/window_server.h"
-#include "src/net/connection.h"
+#include "src/net/transport.h"
 #include "src/protocol/wire.h"
 #include "src/util/cpu.h"
 #include "src/util/event_loop.h"
@@ -74,7 +74,7 @@ struct ThincServerOptions {
 
 class ThincServer : public DisplayDriver {
  public:
-  ThincServer(EventLoop* loop, Connection* conn, CpuAccount* cpu,
+  ThincServer(EventLoop* loop, Transport* conn, CpuAccount* cpu,
               ThincServerOptions options = {});
 
   // The server reads reference framebuffer content from the window server
@@ -134,7 +134,7 @@ class ThincServer : public DisplayDriver {
   // re-announced immediately, and the full-screen resync update is sent when
   // the new client renegotiates its viewport (ThincClient::Attach does this
   // automatically, together with a cursor position sync).
-  void Attach(Connection* conn);
+  void Attach(Transport* conn);
   bool connected() const { return connected_; }
 
   // --- Overload degradation (fleet) ------------------------------------------
@@ -234,7 +234,7 @@ class ThincServer : public DisplayDriver {
   void EnqueueVideoFrame(int32_t stream_id, ByteBuffer wire_frame);
 
   EventLoop* loop_;
-  Connection* conn_;
+  Transport* conn_;
   CpuAccount* cpu_;
   ThincServerOptions options_;
   WindowServer* window_server_ = nullptr;

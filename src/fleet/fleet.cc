@@ -36,13 +36,19 @@ uint64_t FleetHost::DeriveSessionSeed(uint64_t fleet_seed, uint64_t session_id) 
   return z ^ (z >> 31);
 }
 
-bool FleetHost::FitsHeadroom(const FleetSessionDemand& demand) const {
+bool FleetHost::FitsHeadroom(const FleetSessionDemand& demand,
+                             bool local) const {
   // CPU capacity: one second of host time executes 1e6 * speed * cores
   // reference microseconds of work (K cores run K charges concurrently).
   const double cpu_capacity = 1e6 * options_.cpu_speed * options_.cpu_cores *
                               options_.cpu_headroom;
   if (admitted_cpu_us_per_sec_ + demand.cpu_us_per_sec > cpu_capacity) {
     return false;
+  }
+  if (local) {
+    // A loopback session never touches the NIC: its admission is gated by
+    // CPU demand alone.
+    return true;
   }
   const double nic_capacity =
       static_cast<double>(options_.link.bandwidth_bps) * options_.nic_headroom;
@@ -69,8 +75,8 @@ int FleetHost::PredictedCapacity(const FleetSessionDemand& demand) const {
 }
 
 FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
-                                           int64_t weight) {
-  if (!FitsHeadroom(demand)) {
+                                           int64_t weight, bool local) {
+  if (!FitsHeadroom(demand, local)) {
     if (options_.park_beyond_capacity) {
       ++parked_;
       static Counter* parked = MetricsRegistry::Get().GetCounter("fleet.parked");
@@ -91,7 +97,11 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
   auto s = std::make_unique<Session>();
   s->id = id;
   s->seed = DeriveSessionSeed(options_.seed, id);
+  s->local = local;
   s->demand = demand;
+  if (local) {
+    s->demand.nic_bytes_per_sec = 0;  // no wire, no NIC share to account
+  }
   s->prng = Prng(s->seed);
   // Two sessions sharing a PRNG stream would correlate "independent"
   // workloads; the derivation makes it impossible, and this check keeps it
@@ -101,23 +111,36 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
                     "fleet sessions must not share a PRNG stream");
   }
 
-  s->conn = std::make_unique<Connection>(loop_, options_.link,
-                                         options_.send_buffer_bytes);
-  s->conn->AttachUplink(&nic_, weight);
+  CpuAccount* client_cpu = nullptr;
+  if (local) {
+    // Co-located session: frames reach the client as ref-counted loopback
+    // handoffs (never through the NIC), and the client decodes on the host
+    // CPU — it IS the host.
+    s->transport =
+        std::make_unique<LoopbackTransport>(loop_, &host_cpu_, options_.loopback);
+    client_cpu = &host_cpu_;
+  } else {
+    auto wire = std::make_unique<Connection>(loop_, options_.link,
+                                             options_.send_buffer_bytes);
+    wire->AttachUplink(&nic_, weight);
+    s->wire = wire.get();
+    s->transport = std::move(wire);
+    s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
+    client_cpu = s->client_cpu.get();
+  }
   ThincServerOptions server_options = options_.server_options;
   server_options.telemetry_host = "fleet-session-" + std::to_string(id);
   ThincClientOptions client_options = options_.client_options;
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
-  s->server = std::make_unique<ThincServer>(loop_, s->conn.get(), &host_cpu_,
-                                            server_options);
+  s->server = std::make_unique<ThincServer>(loop_, s->transport.get(),
+                                            &host_cpu_, server_options);
   s->ws = std::make_unique<WindowServer>(options_.screen_width,
                                          options_.screen_height,
                                          s->server.get(), &host_cpu_);
   s->server->AttachWindowServer(s->ws.get());
-  s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
-  s->client = std::make_unique<ThincClient>(loop_, s->conn.get(),
-                                            s->client_cpu.get(),
+  s->client = std::make_unique<ThincClient>(loop_, s->transport.get(),
+                                            client_cpu,
                                             options_.screen_width,
                                             options_.screen_height,
                                             client_options);
@@ -131,15 +154,20 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
     }
   });
 
-  admitted_cpu_us_per_sec_ += demand.cpu_us_per_sec;
-  admitted_nic_bytes_per_sec_ += demand.nic_bytes_per_sec;
+  admitted_cpu_us_per_sec_ += s->demand.cpu_us_per_sec;
+  admitted_nic_bytes_per_sec_ += s->demand.nic_bytes_per_sec;
+  if (local) {
+    ++local_count_;
+  }
   sessions_.push_back(std::move(s));
   {
     static Counter* admitted =
         MetricsRegistry::Get().GetCounter("fleet.admitted");
     static Gauge* count = MetricsRegistry::Get().GetGauge("fleet.sessions");
+    static Gauge* locals = MetricsRegistry::Get().GetGauge("fleet.local_sessions");
     admitted->Inc();
     count->Set(static_cast<int64_t>(sessions_.size()));
+    locals->Set(static_cast<int64_t>(local_count_));
   }
   return Admission::kAdmitted;
 }
@@ -178,8 +206,14 @@ void FleetHost::ControllerTick(SimTime until) {
   int64_t socket_bytes = 0;
   int64_t sched_bytes = 0;
   for (const auto& s : sessions_) {
-    socket_bytes += static_cast<int64_t>(s->conn->SendBufferCapacity() -
-                                         s->conn->FreeSpace(Connection::kServer));
+    if (s->local) {
+      // Loopback backlog never wants the wire: its pressure shows up as CPU
+      // lag, not NIC lag.
+      continue;
+    }
+    socket_bytes += static_cast<int64_t>(
+        s->transport->SendBufferCapacity() -
+        s->transport->FreeSpace(Transport::kServer));
     sched_bytes += static_cast<int64_t>(s->server->buffered_bytes());
   }
   const SimTime wire_busy = std::max<SimTime>(0, nic_.busy_until() - now);

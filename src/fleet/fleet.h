@@ -47,6 +47,7 @@
 #include "src/core/thinc_server.h"
 #include "src/display/window_server.h"
 #include "src/net/connection.h"
+#include "src/net/loopback.h"
 #include "src/net/nic.h"
 #include "src/util/cpu.h"
 #include "src/util/event_loop.h"
@@ -105,6 +106,10 @@ struct FleetOptions {
   // a per-session name so Chrome traces get one pid per session).
   ThincServerOptions server_options;
   ThincClientOptions client_options;
+  // Transport for sessions added with local=true: co-located clients get a
+  // shared-memory LoopbackTransport instead of a wire (no NIC contention;
+  // handoffs and client decode charge the shared host CPU).
+  LoopbackOptions loopback;
 };
 
 class FleetHost {
@@ -115,11 +120,16 @@ class FleetHost {
 
   FleetHost(EventLoop* loop, FleetOptions options);
 
-  // Admission-checks `demand` and, if admitted, instantiates the session
-  // (connection attached to the shared NIC with `weight`, server/window
-  // server on the shared CPU, client on its own 1.0x account). Returns the
-  // outcome; session ids are assigned densely in admission order.
-  Admission AddSession(const FleetSessionDemand& demand, int64_t weight = 1);
+  // Admission-checks `demand` and, if admitted, instantiates the session.
+  // Remote sessions (local=false) get a wire Connection attached to the
+  // shared NIC with `weight`, server/window server on the shared CPU, and a
+  // client on its own 1.0x account. Local sessions (local=true) get a
+  // LoopbackTransport: they bypass the NIC entirely — NIC attach is a
+  // wire-transport capability — so only their CPU demand counts toward
+  // admission, and their client decodes on the shared host CPU (it IS the
+  // host). Returns the outcome; ids are assigned densely in admission order.
+  Admission AddSession(const FleetSessionDemand& demand, int64_t weight = 1,
+                       bool local = false);
 
   // Deterministic per-session seed: a bijective splitmix64-style mix of
   // (fleet_seed, id), so two sessions of one fleet can never share a PRNG
@@ -138,7 +148,12 @@ class FleetHost {
   ThincServer* server(size_t id) { return sessions_[id]->server.get(); }
   ThincClient* client(size_t id) { return sessions_[id]->client.get(); }
   WindowServer* window_server(size_t id) { return sessions_[id]->ws.get(); }
-  Connection* connection(size_t id) { return sessions_[id]->conn.get(); }
+  // The session's transport, whatever its kind.
+  Transport* transport(size_t id) { return sessions_[id]->transport.get(); }
+  // The wire connection of a remote session; null for local sessions.
+  Connection* connection(size_t id) { return sessions_[id]->wire; }
+  bool is_local(size_t id) const { return sessions_[id]->local; }
+  size_t local_count() const { return local_count_; }
   // The session's private workload PRNG stream.
   Prng* prng(size_t id) { return &sessions_[id]->prng; }
   uint64_t session_seed(size_t id) const { return sessions_[id]->seed; }
@@ -164,10 +179,14 @@ class FleetHost {
   struct Session {
     size_t id = 0;
     uint64_t seed = 0;
+    bool local = false;
     FleetSessionDemand demand;
-    std::unique_ptr<Connection> conn;
+    std::unique_ptr<Transport> transport;
+    Connection* wire = nullptr;  // transport downcast; null when local
     std::unique_ptr<ThincServer> server;
     std::unique_ptr<WindowServer> ws;
+    // Remote clients decode on their own terminal (1.0x); null for local
+    // sessions, whose client shares the host CPU.
     std::unique_ptr<CpuAccount> client_cpu;
     std::unique_ptr<ThincClient> client;
     Prng prng{1};
@@ -177,7 +196,7 @@ class FleetHost {
     int under_ticks = 0;
   };
 
-  bool FitsHeadroom(const FleetSessionDemand& demand) const;
+  bool FitsHeadroom(const FleetSessionDemand& demand, bool local) const;
   void ControllerTick(SimTime until);
   size_t FramebufferBytes() const;
 
@@ -191,6 +210,7 @@ class FleetHost {
   int64_t admitted_nic_bytes_per_sec_ = 0;
   size_t parked_ = 0;
   size_t rejected_ = 0;
+  size_t local_count_ = 0;
   bool controller_running_ = false;
 };
 

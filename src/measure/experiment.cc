@@ -48,6 +48,16 @@ ExperimentConfig LanDesktopConfig() {
   return c;
 }
 
+ExperimentConfig LocalLoopbackConfig() {
+  ExperimentConfig c;
+  c.name = "local";
+  // The link only matters if the session later Reconnects onto a wire;
+  // normal operation never touches it.
+  c.link = LanDesktopLink();
+  c.transport = TransportKind::kLoopback;
+  return c;
+}
+
 ExperimentConfig WanDesktopConfig() {
   ExperimentConfig c;
   c.name = "WAN";
@@ -79,7 +89,10 @@ std::unique_ptr<RemoteDisplaySystem> MakeSystem(SystemKind kind, EventLoop* loop
   const int32_t h = config.screen_height;
   switch (kind) {
     case SystemKind::kThinc:
-      return std::make_unique<ThincSystem>(loop, link, w, h);
+      return std::make_unique<ThincSystem>(loop, link, w, h, ThincServerOptions{},
+                                           ThincClientOptions{},
+                                           /*server_cpu_cores=*/1,
+                                           config.transport);
     case SystemKind::kX:
       return std::make_unique<XSystem>(loop, link, w, h, MakeXOptions());
     case SystemKind::kNx:
@@ -206,7 +219,8 @@ WebRunResult RunThincWebVariant(const ExperimentConfig& config,
                                 ThincVariantExtras* extras) {
   EventLoop loop;
   ThincSystem sys(&loop, config.link, config.screen_width, config.screen_height,
-                  options);
+                  options, ThincClientOptions{}, /*server_cpu_cores=*/1,
+                  config.transport);
   if (!skip_viewport && config.viewport.has_value()) {
     sys.SetViewport(config.viewport->x, config.viewport->y);
     loop.Run();
@@ -235,7 +249,8 @@ WebBreakdownResult RunThincWebBreakdown(const ExperimentConfig& config,
   // between a page's click and its quiescence belongs to that page.
   EventLoop loop;
   ThincSystem sys(&loop, config.link, config.screen_width, config.screen_height,
-                  options);
+                  options, ThincClientOptions{}, /*server_cpu_cores=*/1,
+                  config.transport);
   if (config.viewport.has_value()) {
     sys.SetViewport(config.viewport->x, config.viewport->y);
     loop.Run();
@@ -411,7 +426,8 @@ AvRunResult RunThincAvVariant(const ExperimentConfig& config,
                               bool skip_viewport, ThincVariantExtras* extras) {
   EventLoop loop;
   ThincSystem sys(&loop, config.link, config.screen_width, config.screen_height,
-                  options);
+                  options, ThincClientOptions{}, /*server_cpu_cores=*/1,
+                  config.transport);
   if (!skip_viewport && config.viewport.has_value()) {
     sys.SetViewport(config.viewport->x, config.viewport->y);
     loop.Run();

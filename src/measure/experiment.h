@@ -14,6 +14,7 @@
 #include "src/baselines/system.h"
 #include "src/core/thinc_server.h"
 #include "src/net/link.h"
+#include "src/net/transport.h"
 #include "src/util/event_loop.h"
 
 namespace thinc {
@@ -43,12 +44,19 @@ struct ExperimentConfig {
   std::optional<Point> viewport;
   int32_t screen_width = 1024;
   int32_t screen_height = 768;
+  // Wire (default) or same-host loopback; only the THINC system honors it
+  // (baselines model remote-display products, which presume a wire).
+  TransportKind transport = TransportKind::kWire;
 };
 
 ExperimentConfig LanDesktopConfig();
 ExperimentConfig WanDesktopConfig();
 ExperimentConfig Pda80211gConfig();
 ExperimentConfig RemoteSiteConfig(const RemoteSite& site);
+// Co-located session: loopback transport, no wire at all. Encryption stays
+// on paper defaults unless the caller turns it off (there is nothing to
+// snoop on a same-host handoff, and RC4 forces a payload copy).
+ExperimentConfig LocalLoopbackConfig();
 
 // Builds a fully wired system-under-test on `loop`.
 std::unique_ptr<RemoteDisplaySystem> MakeSystem(SystemKind kind, EventLoop* loop,

@@ -68,7 +68,7 @@ OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
   result.framebuffer_bytes = static_cast<size_t>(config.screen_width) *
                              config.screen_height * sizeof(Pixel);
 
-  Connection* conn = sys.connection();
+  Transport* conn = sys.connection();
 
   // --- Phase 1: steady browsing -------------------------------------------
   const int32_t pages_before =
@@ -84,7 +84,7 @@ OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
   loop.RunUntil(loop.now() + options.page_gap);
   const SimTime t_fault_click = loop.now();
   result.steady_ms = static_cast<double>(t_fault_click) / kMillisecond;
-  result.steady_bytes = conn->BytesDeliveredTo(Connection::kClient);
+  result.steady_bytes = conn->BytesDeliveredTo(Transport::kClient);
 
   current_page = pages_before % workload.page_count();
   sys.ClientClick(workload.LinkPosition(current_page));
@@ -96,7 +96,7 @@ OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
     const SimTime probe_deadline = t_fault_click + 2 * kSecond;
     const int64_t partial_target = result.steady_bytes + (8 << 10);
     while (loop.now() < probe_deadline &&
-           conn->BytesDeliveredTo(Connection::kClient) < partial_target) {
+           conn->BytesDeliveredTo(Transport::kClient) < partial_target) {
       loop.RunUntil(loop.now() + kMillisecond);
     }
   }
@@ -122,18 +122,18 @@ OutageScenarioResult RunOutageScenario(const ExperimentConfig& config,
   const SimTime t_reconnect = loop.now();
   result.outage_ms = static_cast<double>(t_reconnect - t_fault_click) / kMillisecond;
   result.outage_bytes =
-      conn->BytesDeliveredTo(Connection::kClient) - result.steady_bytes;
+      conn->BytesDeliveredTo(Transport::kClient) - result.steady_bytes;
 
-  Connection* fresh = sys.Reconnect(config.link);
+  Transport* fresh = sys.Reconnect(config.link);
   loop.Run();  // hello -> full refresh -> applied at the client
 
   const SimTime net_done =
-      std::max(t_reconnect, fresh->LastDeliveryTo(Connection::kClient));
+      std::max(t_reconnect, fresh->LastDeliveryTo(Transport::kClient));
   const SimTime all_done = std::max(net_done, sys.ClientLastProcessedAt());
   result.recovery_ms = static_cast<double>(net_done - t_reconnect) / kMillisecond;
   result.recovery_with_client_ms =
       static_cast<double>(all_done - t_reconnect) / kMillisecond;
-  result.resync_bytes = fresh->BytesDeliveredTo(Connection::kClient);
+  result.resync_bytes = fresh->BytesDeliveredTo(Transport::kClient);
   result.overflow_coalesces = sys.server()->overflow_coalesces();
   result.reconnects = sys.server()->reconnects();
 

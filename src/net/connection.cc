@@ -16,7 +16,7 @@ constexpr int64_t kMss = 1460;
 
 Connection::Connection(EventLoop* loop, const LinkParams& params,
                        size_t send_buffer_bytes)
-    : loop_(loop), params_(params), send_buffer_bytes_(send_buffer_bytes) {
+    : Transport(loop), params_(params), send_buffer_bytes_(send_buffer_bytes) {
   THINC_CHECK(params.bandwidth_bps > 0);
   THINC_CHECK(params.tcp_window_bytes > 0);
 }
@@ -76,40 +76,6 @@ void Connection::AttachUplink(NicScheduler* nic, int64_t weight) {
   });
 }
 
-void Connection::SetReceiver(int endpoint, ReceiveFn fn) {
-  // Data arriving at `endpoint` was sent from the other endpoint.
-  dirs_[1 - endpoint].receive = std::move(fn);
-}
-
-void Connection::SetWritable(int endpoint, WritableFn fn) {
-  dirs_[endpoint].writable = std::move(fn);
-}
-
-void Connection::SetClosed(int endpoint, ClosedFn fn) {
-  closed_fns_[endpoint] = std::move(fn);
-}
-
-void Connection::ScheduleFaults(const FaultPlan& plan) {
-  for (const FaultEvent& e : plan.events) {
-    loop_->ScheduleAt(e.at, [this, e] {
-      switch (e.kind) {
-        case FaultEvent::Kind::kDegrade:
-          SetLinkParams(e.bandwidth_bps, e.rtt);
-          break;
-        case FaultEvent::Kind::kOutageStart:
-          BeginOutage();
-          break;
-        case FaultEvent::Kind::kOutageEnd:
-          EndOutage();
-          break;
-        case FaultEvent::Kind::kReset:
-          Reset();
-          break;
-      }
-    });
-  }
-}
-
 void Connection::SetLinkParams(int64_t bandwidth_bps, SimTime rtt) {
   if (bandwidth_bps > 0) {
     params_.bandwidth_bps = bandwidth_bps;
@@ -124,36 +90,7 @@ void Connection::SetLinkParams(int64_t bandwidth_bps, SimTime rtt) {
                        params_.bandwidth_bps);
 }
 
-void Connection::BeginOutage() {
-  if (closed_ || outage_) {
-    return;
-  }
-  outage_ = true;
-  Telemetry& telemetry = Telemetry::Get();
-  telemetry.Record("net.outage.begin", loop_->now());
-  telemetry.Instant(0, 1, "outage begin", loop_->now());
-}
-
-void Connection::EndOutage() {
-  if (closed_ || !outage_) {
-    return;
-  }
-  outage_ = false;
-  Telemetry& telemetry = Telemetry::Get();
-  telemetry.Record("net.outage.end", loop_->now(),
-                   static_cast<int64_t>(frozen_.size()));
-  telemetry.Instant(0, 1, "outage end", loop_->now());
-  // Replay frozen deliveries/acks in their original firing order; each goes
-  // back through RunOrFreeze so a second outage (or a reset) starting before
-  // the replay fires is still honored.
-  std::vector<std::function<void()>> frozen = std::move(frozen_);
-  frozen_.clear();
-  const uint64_t epoch = epoch_;
-  for (auto& fn : frozen) {
-    loop_->Schedule(0, [this, epoch, fn = std::move(fn)] {
-      RunOrFreeze(epoch, fn);
-    });
-  }
+void Connection::OnThaw() {
   // Pumps that stalled against the frozen wire did not reschedule themselves.
   for (int from = 0; from < 2; ++from) {
     if (!dirs_[from].send_buffer.empty() && !dirs_[from].pump_scheduled) {
@@ -162,68 +99,12 @@ void Connection::EndOutage() {
   }
 }
 
-void Connection::Reset() {
-  if (closed_) {
-    return;
-  }
-  closed_ = true;
-  ++epoch_;
-  {
-    static Counter* resets = MetricsRegistry::Get().GetCounter("net.resets");
-    resets->Inc();
-    Telemetry& telemetry = Telemetry::Get();
-    telemetry.Record("net.reset", loop_->now());
-    telemetry.Instant(0, 1, "connection reset", loop_->now());
-    if (telemetry.recorder_on()) {
-      // A reset is the robustness event the flight recorder exists for:
-      // dump the timeline leading up to it.
-      telemetry.DumpFlightRecorder(stderr, "connection reset");
-    }
-  }
-  frozen_.clear();
+void Connection::OnReset() {
   for (Direction& d : dirs_) {
     d.send_buffer.Clear();
     d.inflight.clear();
     d.inflight_bytes = 0;
   }
-  // Notify both endpoints from fresh events so no callback runs inside
-  // whatever pump or delivery handler triggered the reset.
-  for (int endpoint = 0; endpoint < 2; ++endpoint) {
-    if (closed_fns_[endpoint]) {
-      loop_->Schedule(0, [fn = closed_fns_[endpoint]] { fn(); });
-    }
-  }
-}
-
-void Connection::RunOrFreeze(uint64_t epoch, std::function<void()> fn) {
-  if (closed_ || epoch != epoch_) {
-    return;  // the bytes died with the connection
-  }
-  if (outage_) {
-    frozen_.push_back(std::move(fn));
-    return;
-  }
-  fn();
-}
-
-const std::vector<TraceRecord>& Connection::TraceTo(int endpoint) const {
-  return dirs_[1 - endpoint].trace;
-}
-
-int64_t Connection::BytesDeliveredTo(int endpoint) const {
-  return dirs_[1 - endpoint].delivered_bytes;
-}
-
-uint64_t Connection::DeliveredHashTo(int endpoint) const {
-  return dirs_[1 - endpoint].delivered_hash;
-}
-
-SimTime Connection::LastDeliveryTo(int endpoint) const {
-  return dirs_[1 - endpoint].last_delivery;
-}
-
-int64_t Connection::PhaseBytesDeliveredTo(int endpoint) const {
-  return dirs_[1 - endpoint].phase_delivered_bytes;
 }
 
 bool Connection::Idle() const {
@@ -236,14 +117,6 @@ bool Connection::Idle() const {
     }
   }
   return true;
-}
-
-void Connection::ResetTraces() {
-  for (Direction& d : dirs_) {
-    d.trace.clear();
-    d.phase_delivered_bytes = 0;
-    d.last_delivery = 0;
-  }
 }
 
 void Connection::SchedulePump(int from, SimTime when) {
@@ -318,27 +191,7 @@ void Connection::Pump(int from) {
     const uint64_t epoch = epoch_;
     loop_->ScheduleAt(arrival, [this, from, epoch, payload = std::move(payload)] {
       RunOrFreeze(epoch, [this, from, payload] {
-        Direction& dir = dirs_[from];
-        dir.delivered_bytes += static_cast<int64_t>(payload.size());
-        for (uint8_t b : payload) {
-          dir.delivered_hash = (dir.delivered_hash ^ b) * 1099511628211ULL;
-        }
-        dir.phase_delivered_bytes += static_cast<int64_t>(payload.size());
-        dir.last_delivery = loop_->now();
-        dir.trace.push_back(
-            TraceRecord{loop_->now(), static_cast<int64_t>(payload.size())});
-        static Counter* delivered =
-            MetricsRegistry::Get().GetCounter("net.delivered_bytes");
-        static Counter* segments =
-            MetricsRegistry::Get().GetCounter("net.segments");
-        static Histogram* seg_bytes = MetricsRegistry::Get().GetHistogram(
-            "net.segment_bytes", Histogram::ExponentialBounds(64, 2.0, 6));
-        delivered->Inc(static_cast<int64_t>(payload.size()));
-        segments->Inc();
-        seg_bytes->Observe(static_cast<int64_t>(payload.size()));
-        if (dir.receive) {
-          dir.receive(payload);
-        }
+        Deliver(from, payload);
       });
     });
     loop_->ScheduleAt(ack, [this, from, epoch, seg_len] {
@@ -361,38 +214,42 @@ void Connection::Pump(int from) {
     // wire, so it must not hold a parked slot other flows' grants wait on.
     uplink_->ReleaseFlow(uplink_flow_);
   }
-  if (freed_space && d.writable) {
-    d.writable();
+  if (freed_space) {
+    NotifyWritable(from);
   }
 }
 
-Relay::Relay(Connection* a, int a_end, Connection* b, int b_end) {
+Relay::Relay(Transport* a, int a_end, Transport* b, int b_end) {
   // Bytes arriving at a_end of `a` are forwarded out of b_end of `b`, and
   // vice versa. Backlogs absorb rate mismatches between the two legs.
-  a->SetReceiver(a_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
-    backlog_ab_.AppendCopy(data);
-    ForwardPending(a, a_end, b, b_end, &backlog_ab_);
+  // Receiving the ref-counted buffer (not a span) keeps the whole path
+  // copy-free: the backlog holds views into the delivered segments.
+  a->SetBufferReceiver(a_end, [this, b, b_end](const ByteBuffer& data) {
+    backlog_ab_.Append(data);
+    ForwardPending(b, b_end, &backlog_ab_);
   });
-  b->SetReceiver(b_end, [this, a, a_end, b, b_end](std::span<const uint8_t> data) {
-    backlog_ba_.AppendCopy(data);
-    ForwardPending(b, b_end, a, a_end, &backlog_ba_);
+  b->SetBufferReceiver(b_end, [this, a, a_end](const ByteBuffer& data) {
+    backlog_ba_.Append(data);
+    ForwardPending(a, a_end, &backlog_ba_);
   });
-  a->SetWritable(a_end, [this, a, a_end, b, b_end] {
-    ForwardPending(b, b_end, a, a_end, &backlog_ba_);
+  a->SetWritable(a_end, [this, a, a_end] {
+    ForwardPending(a, a_end, &backlog_ba_);
   });
-  b->SetWritable(b_end, [this, a, a_end, b, b_end] {
-    ForwardPending(a, a_end, b, b_end, &backlog_ab_);
+  b->SetWritable(b_end, [this, b, b_end] {
+    ForwardPending(b, b_end, &backlog_ab_);
   });
 }
 
-void Relay::ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
-                           SegmentQueue* backlog) {
+void Relay::ForwardPending(Transport* to, int to_end, SegmentQueue* backlog) {
   while (!backlog->empty()) {
     size_t space = to->FreeSpace(to_end);
     if (space == 0) {
       return;
     }
-    size_t n = std::min(space, backlog->size());
+    // Pop at most the head segment's remainder: the pop then stays inside
+    // one queued buffer and slices instead of gathering, so a relayed byte
+    // is never re-memcpy'd.
+    size_t n = std::min(space, backlog->head_segment_size());
     ByteBuffer chunk = backlog->PopUpTo(n);
     size_t sent = to->Send(to_end, chunk);
     if (sent < n) {

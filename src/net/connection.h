@@ -1,4 +1,5 @@
-// A simulated full-duplex TCP-like connection.
+// A simulated full-duplex TCP-like connection — the wire implementation of
+// the Transport interface (src/net/transport.h).
 //
 // Models the three network effects the paper's evaluation turns on:
 //   * serialization delay (link bandwidth),
@@ -30,9 +31,11 @@
 #include <deque>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/net/link.h"
+#include "src/net/transport.h"
 #include "src/util/buffer.h"
 #include "src/util/event_loop.h"
 
@@ -40,98 +43,37 @@ namespace thinc {
 
 class NicScheduler;
 
-// One timestamped delivery, as a packet monitor would record it.
-struct TraceRecord {
-  SimTime time = 0;   // arrival time at the receiving endpoint
-  int64_t bytes = 0;
-};
-
-class Connection {
+class Connection : public Transport {
  public:
-  // Endpoint 0 is conventionally the server, endpoint 1 the client.
-  static constexpr int kServer = 0;
-  static constexpr int kClient = 1;
-
-  using ReceiveFn = std::function<void(std::span<const uint8_t>)>;
-  using WritableFn = std::function<void()>;
-  using ClosedFn = std::function<void()>;
-
   Connection(EventLoop* loop, const LinkParams& params,
              size_t send_buffer_bytes = 256 << 10);
 
-  // Queues up to FreeSpace(from) bytes; returns the number accepted.
-  // A closed connection accepts nothing. The span overload copies the
-  // accepted bytes (the caller's buffer is transient); the ByteBuffer
-  // overload enqueues a ref-counted view without copying.
-  size_t Send(int from, std::span<const uint8_t> data);
-  size_t Send(int from, const ByteBuffer& data);
-  size_t FreeSpace(int from) const;
-  // Total socket buffer capacity for one direction.
-  size_t SendBufferCapacity() const { return send_buffer_bytes_; }
+  TransportKind kind() const override { return TransportKind::kWire; }
 
-  // Receiver callback for data arriving *at* `endpoint`.
-  void SetReceiver(int endpoint, ReceiveFn fn);
-  // Invoked when the send buffer *from* `endpoint` gains free space.
-  void SetWritable(int endpoint, WritableFn fn);
-  // Invoked (once, at `endpoint`) when the connection is hard-reset.
-  void SetClosed(int endpoint, ClosedFn fn);
+  size_t Send(int from, std::span<const uint8_t> data) override;
+  size_t Send(int from, const ByteBuffer& data) override;
+  size_t FreeSpace(int from) const override;
+  // Total socket buffer capacity for one direction.
+  size_t SendBufferCapacity() const override { return send_buffer_bytes_; }
 
   const LinkParams& params() const { return params_; }
-  EventLoop* loop() const { return loop_; }
 
   // Routes this connection's server→client direction through a shared host
   // NIC instead of a private wire: segments reserve the NIC before
   // serializing, so N connections on one host contend for one uplink with
   // weighted-fair arbitration. The client→server direction (input events,
   // acks) keeps the private wire — upstream traffic is negligible and the
-  // paper's contention story is about server push. Call at most once,
+  // paper's contention story is about server push. A wire-transport
+  // capability: loopback sessions never touch the NIC. Call at most once,
   // before any data is sent.
   void AttachUplink(NicScheduler* nic, int64_t weight);
 
-  // --- Fault injection -------------------------------------------------------
-  // Schedules every event of `plan` on the loop (relative to absolute sim
-  // times in the plan). May be called once per plan; plans compose.
-  void ScheduleFaults(const FaultPlan& plan);
   // Changes the link in place (<= 0 / < 0 keep the current value). Data
   // already serialized keeps its original delivery schedule.
-  void SetLinkParams(int64_t bandwidth_bps, SimTime rtt);
-  // Outage window: the wire stalls in both directions — nothing serializes,
-  // deliveries and acks freeze — until EndOutage, when the frozen events
-  // replay in their original order.
-  void BeginOutage();
-  void EndOutage();
-  // Hard reset: drops all buffered and in-flight bytes in both directions,
-  // closes the connection permanently, and notifies both endpoints' closed
-  // callbacks (on a fresh loop event, so callers never reenter mid-pump).
-  void Reset();
-  bool closed() const { return closed_; }
-  bool in_outage() const { return outage_; }
+  void SetLinkParams(int64_t bandwidth_bps, SimTime rtt) override;
 
-  // Measurement interface (direction identified by receiving endpoint).
-  const std::vector<TraceRecord>& TraceTo(int endpoint) const;
-  // Lifetime byte counter: survives ResetTraces().
-  int64_t BytesDeliveredTo(int endpoint) const;
-  // FNV-1a hash over every byte delivered to `endpoint`, in delivery order.
-  // Segmentation-independent (bytes hash one at a time), so two runs whose
-  // segment boundaries differ but whose byte stream matches hash equal —
-  // the wire-identity fingerprint the multi-core determinism tests compare
-  // across modeled core counts. Survives ResetTraces().
-  uint64_t DeliveredHashTo(int endpoint) const;
-  // Timestamp of the last delivery in the CURRENT measurement phase, i.e.
-  // since the last ResetTraces() (0 when nothing has been delivered this
-  // phase — a page/phase that transfers no data never inherits an older
-  // phase's timestamp).
-  SimTime LastDeliveryTo(int endpoint) const;
-  // Bytes delivered in the current measurement phase.
-  int64_t PhaseBytesDeliveredTo(int endpoint) const;
-  // True when no data is buffered or in flight in either direction (a
-  // closed connection is always idle: nothing will ever move again).
-  bool Idle() const;
-
-  // Starts a new measurement phase: clears traces and per-phase delivery
-  // bookkeeping (LastDeliveryTo / PhaseBytesDeliveredTo). Lifetime counters
-  // (BytesDeliveredTo) and channel state are untouched.
-  void ResetTraces();
+  // True when no data is buffered or in flight in either direction.
+  bool Idle() const override;
 
  private:
   struct Direction {
@@ -140,47 +82,34 @@ class Connection {
     std::deque<std::pair<SimTime, int64_t>> inflight;  // (ack time, bytes)
     SimTime serialize_free_at = 0;        // when the "wire" is next free
     bool pump_scheduled = false;
-    ReceiveFn receive;
-    WritableFn writable;
-    std::vector<TraceRecord> trace;
-    int64_t delivered_bytes = 0;        // lifetime
-    uint64_t delivered_hash = 14695981039346656037ULL;  // FNV-1a, lifetime
-    int64_t phase_delivered_bytes = 0;  // since last ResetTraces()
-    SimTime last_delivery = 0;          // since last ResetTraces()
   };
 
   void Pump(int from);
   void SchedulePump(int from, SimTime when);
-  // Runs `fn` now, or defers it until the outage ends / drops it if the
-  // connection was reset since `epoch`.
-  void RunOrFreeze(uint64_t epoch, std::function<void()> fn);
+  // Restarts pumps stalled against the frozen wire after an outage ends.
+  void OnThaw() override;
+  // Drops all buffered and in-flight bytes on a hard reset.
+  void OnReset() override;
 
-  EventLoop* loop_;
   LinkParams params_;
   size_t send_buffer_bytes_;
   NicScheduler* uplink_ = nullptr;  // shared host NIC (server→client only)
   int uplink_flow_ = -1;
   Direction dirs_[2];  // indexed by sending endpoint
-  ClosedFn closed_fns_[2];  // indexed by notified endpoint
-  bool closed_ = false;
-  bool outage_ = false;
-  // Bumped by Reset(); in-loop delivery/ack events from an older epoch are
-  // dropped (their bytes died with the connection).
-  uint64_t epoch_ = 0;
-  // Delivery/ack work frozen by an outage, in original firing order.
-  std::vector<std::function<void()>> frozen_;
 };
 
-// Chains two connections back to back, forwarding bytes both ways — the
-// GoToMyPC intermediate hosted server (Section 8.1).
+// Chains two transports back to back, forwarding bytes both ways — the
+// GoToMyPC intermediate hosted server (Section 8.1). Forwarding is
+// zero-copy: delivered segments arrive as ref-counted buffers, sit in the
+// backlog SegmentQueues by reference, and are re-sent through the
+// ByteBuffer Send overload, so a relayed byte is never memcpy'd again.
 class Relay {
  public:
   // Joins `a` endpoint `a_end` with `b` endpoint `b_end`.
-  Relay(Connection* a, int a_end, Connection* b, int b_end);
+  Relay(Transport* a, int a_end, Transport* b, int b_end);
 
  private:
-  void ForwardPending(Connection* from, int from_end, Connection* to, int to_end,
-                      SegmentQueue* backlog);
+  void ForwardPending(Transport* to, int to_end, SegmentQueue* backlog);
 
   SegmentQueue backlog_ab_;
   SegmentQueue backlog_ba_;

@@ -1,0 +1,115 @@
+// Shared-memory loopback transport for co-located sessions.
+//
+// The classic thin-client lab hangs dozens of display terminals off one
+// server on the same machine or LAN segment; for the co-located case there
+// is no wire at all. LoopbackTransport models that path: delivery is a
+// ref-counted ByteBuffer handoff — the receiving endpoint sees the very
+// bytes the sender's FrameArena slab holds, with no serialization delay, no
+// TCP window, no MSS segmentation, and no SegmentQueue copy. The only cost
+// is a small per-handoff CPU charge on the host's shared CpuAccount (a
+// descriptor enqueue/dequeue, not a byte copy), so co-located clients
+// contend for the host CPU but never for the NIC.
+//
+// Semantics shared with the wire (enforced by the Transport base):
+//
+//   * Send is non-blocking and bounded: at most FreeSpace() bytes are
+//     accepted, where the budget counts bytes handed off but not yet
+//     consumed by the receiver. The writable callback fires as handoffs
+//     complete, exactly like the socket-buffer backpressure contract.
+//   * Fault plans apply: an outage freezes handoffs (in-flight deliveries
+//     park in the base's frozen list and replay in order; new sends queue
+//     behind them), a reset drops everything via the epoch guard and
+//     notifies both endpoints' closed callbacks. Degrade events are
+//     acknowledged but ignored — there is no wire to degrade.
+//   * Deliveries flow through Transport::Deliver, so traces, byte counters,
+//     and the FNV-1a delivered-byte hash are byte-for-byte the same surface
+//     the wire exposes: the same sent stream produces the same delivered
+//     hash on either transport.
+//
+// Determinism: on a K-core host CPU, per-handoff charges can complete out
+// of order across cores. A per-direction delivery floor forces completions
+// back into send order, so the delivered byte stream (and its hash) is
+// identical at any K — the multi-core determinism invariant extends to the
+// loopback path.
+#ifndef THINC_SRC_NET_LOOPBACK_H_
+#define THINC_SRC_NET_LOOPBACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "src/net/transport.h"
+#include "src/util/buffer.h"
+#include "src/util/cpu.h"
+#include "src/util/event_loop.h"
+
+namespace thinc {
+
+struct LoopbackOptions {
+  // Reference-speed CPU microseconds charged per handoff (descriptor
+  // enqueue + receiver wakeup — the cost of moving a pointer, not pixels).
+  double handoff_cpu_us = 2.0;
+  // Bytes accepted but not yet delivered before Send applies backpressure,
+  // mirroring the wire's socket send buffer so server flush pacing sees the
+  // same contract on both transports.
+  size_t pending_budget_bytes = 256 << 10;
+};
+
+class LoopbackTransport : public Transport {
+ public:
+  // Handoff costs are charged to `cpu` — the shared host account, since
+  // both endpoints live on the same machine.
+  LoopbackTransport(EventLoop* loop, CpuAccount* cpu,
+                    LoopbackOptions options = {});
+
+  TransportKind kind() const override { return TransportKind::kLoopback; }
+
+  size_t Send(int from, std::span<const uint8_t> data) override;
+  size_t Send(int from, const ByteBuffer& data) override;
+  size_t FreeSpace(int from) const override;
+  size_t SendBufferCapacity() const override {
+    return options_.pending_budget_bytes;
+  }
+
+  bool Idle() const override;
+
+  // --- Introspection (tests/benches) ----------------------------------------
+  // Completed handoffs sent from `from`.
+  int64_t HandoffsFrom(int from) const { return dirs_[from].handoffs; }
+  // Payload bytes physically copied on accept (span sends only — the
+  // ByteBuffer path hands the bytes off by reference). The zero-copy gate:
+  // a frame-payload path must keep this at 0 for the server direction.
+  int64_t CopiedBytesFrom(int from) const { return dirs_[from].copied_bytes; }
+  // Bytes accepted by reference (no copy between sender and receiver).
+  int64_t SharedBytesFrom(int from) const { return dirs_[from].shared_bytes; }
+
+ private:
+  struct Direction {
+    // Accepted during an outage, awaiting thaw (handoff not yet charged).
+    std::deque<ByteBuffer> queued;
+    // Accepted but not yet delivered or dropped — the backpressure budget.
+    size_t pending_bytes = 0;
+    // FIFO floor: deliveries in one direction never reorder, even when
+    // K-core charges complete out of order.
+    SimTime delivery_floor = 0;
+    int64_t handoffs = 0;
+    int64_t copied_bytes = 0;
+    int64_t shared_bytes = 0;
+  };
+
+  size_t Accept(int from, ByteBuffer payload);
+  void ScheduleHandoff(int from, ByteBuffer payload);
+  void CompleteHandoff(int from, const ByteBuffer& payload);
+  // Charges and schedules the handoffs an outage queued.
+  void OnThaw() override;
+  // Drops queued and pending bytes on a hard reset.
+  void OnReset() override;
+
+  CpuAccount* cpu_;
+  LoopbackOptions options_;
+  Direction dirs_[2];  // indexed by sending endpoint
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_NET_LOOPBACK_H_

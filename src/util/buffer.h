@@ -238,6 +238,14 @@ class SegmentQueue {
 
   size_t size() const { return total_; }
   bool empty() const { return total_ == 0; }
+  // Un-consumed remainder of the head segment (0 when empty). A PopUpTo of
+  // at most this many bytes is guaranteed to slice, never gather — what a
+  // copy-free forwarder (Relay) caps its pops at.
+  size_t head_segment_size() const {
+    return segments_.empty()
+               ? 0
+               : segments_.front().data.size() - segments_.front().offset;
+  }
   void Clear();
 
   // Dequeues exactly min(n, size()) bytes.

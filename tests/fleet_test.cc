@@ -464,5 +464,47 @@ TEST(FleetDegradationTest, DisabledLadderStaysAtFullFidelity) {
   }
 }
 
+
+// --- Local (co-located) sessions --------------------------------------------
+
+TEST(FleetLocalSessionTest, LocalSessionsBypassNicAdmission) {
+  FleetOptions fo = SmallFleet(Lan());  // 100 Mbps NIC
+  fo.nic_headroom = 0.5;                // 50 Mbps usable
+  fo.park_beyond_capacity = false;
+  EventLoop loop;
+  FleetHost fleet(&loop, fo);
+  FleetSessionDemand d{0, 1'562'500};  // 12.5 Mbps each: exactly 4 wire fit
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fleet.AddSession(d), FleetHost::Admission::kAdmitted) << i;
+  }
+  EXPECT_EQ(fleet.AddSession(d), FleetHost::Admission::kRejected)
+      << "the NIC is full for wire sessions";
+  // A co-located session never touches the NIC: the same declared demand is
+  // admitted because its NIC component is zeroed (CPU demand still counts).
+  EXPECT_EQ(fleet.AddSession(d, /*weight=*/1, /*local=*/true),
+            FleetHost::Admission::kAdmitted);
+  const size_t id = fleet.session_count() - 1;
+  EXPECT_TRUE(fleet.is_local(id));
+  EXPECT_EQ(fleet.local_count(), 1u);
+  EXPECT_EQ(fleet.connection(id), nullptr) << "local sessions have no wire";
+  EXPECT_EQ(fleet.transport(id)->kind(), TransportKind::kLoopback);
+}
+
+TEST(FleetLocalSessionTest, LocalSessionConvergesOverLoopback) {
+  FleetOptions fo = SmallFleet(Lan());
+  EventLoop loop;
+  FleetHost fleet(&loop, fo);
+  ASSERT_EQ(fleet.AddSession({}, /*weight=*/1, /*local=*/true),
+            FleetHost::Admission::kAdmitted);
+  fleet.window_server(0)->FillRect(kScreenDrawable, Rect{10, 10, 80, 60},
+                                   MakePixel(20, 180, 90));
+  loop.Run();
+  EXPECT_GT(fleet.transport(0)->BytesDeliveredTo(Transport::kClient), 0);
+  int64_t diff = 0;
+  EXPECT_TRUE(fleet.window_server(0)->screen().Equals(
+      fleet.client(0)->framebuffer(), &diff))
+      << diff << " pixels differ";
+}
+
 }  // namespace
 }  // namespace thinc

@@ -239,5 +239,34 @@ TEST(SessionShareTest, EncodedFramesSharedAcrossViewers) {
   }
 }
 
+
+TEST(SessionShareTest, LocalViewerConvergesByReference) {
+  EventLoop loop;
+  SharedSessionHost host(&loop, 200, 150);
+  // Encryption off keeps the commit path zero-copy (RC4 rewrites bytes);
+  // a same-host handoff has nothing to snoop anyway.
+  ThincServerOptions so;
+  so.encrypt = false;
+  auto* local = host.AddLocalViewer({}, so);
+  auto* remote = host.AddViewer(LanDesktopLink(), so);
+  DrawDesktop(host.window_server(), 6);
+  loop.Run();
+  int64_t diff = 0;
+  EXPECT_TRUE(
+      host.window_server()->screen().Equals(local->client->framebuffer(), &diff))
+      << diff;
+  EXPECT_TRUE(
+      host.window_server()->screen().Equals(remote->client->framebuffer(), &diff))
+      << diff;
+  // The co-located client decodes on the shared host CPU, not a terminal's.
+  EXPECT_EQ(local->client_cpu, nullptr);
+  ASSERT_EQ(local->conn->kind(), TransportKind::kLoopback);
+  auto* lb = static_cast<LoopbackTransport*>(local->conn.get());
+  EXPECT_GT(lb->SharedBytesFrom(Transport::kServer), 0)
+      << "frames must reach the local viewer by reference";
+  EXPECT_EQ(lb->CopiedBytesFrom(Transport::kServer), 0)
+      << "no server->client payload byte may be memcpy'd on the loopback";
+}
+
 }  // namespace
 }  // namespace thinc
