@@ -25,7 +25,7 @@ esac
 # Tests exercising the zero-copy buffer architecture end to end: buffer
 # primitives, command encode caches, offscreen queue-copy CoW, shared-session
 # frame reuse, and the segment-queue send path.
-SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay'
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay|Cluster'
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== tier-1: default preset build + full ctest =="
@@ -57,6 +57,14 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # and clear >= 2x the map's events/sec when cancels dominate.
   echo "== simcore smoke: bench_simcore --smoke =="
   ./build/bench/bench_simcore --smoke
+
+  # Cluster smoke: a 2-host skewed cluster run twice (telemetry off, then
+  # spans on); THINC_CHECKs that the migration schedule, per-session bytes,
+  # framebuffer hashes, and virtual end time are identical across reruns,
+  # that at least one live migration completes with zero lost updates, and
+  # that blackout p95 stays under the full-refresh handoff bound.
+  echo "== cluster smoke: bench_cluster --smoke =="
+  ./build/bench/bench_cluster --smoke
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

@@ -43,16 +43,24 @@ std::unique_ptr<Transport> ThincSystem::MakeTransport() {
   return std::make_unique<Connection>(loop_, link_);
 }
 
-Transport* ThincSystem::Reconnect(const LinkParams& link) {
+Transport* ThincSystem::Reconnect(const LinkParams& link,
+                                  std::optional<TransportKind> kind) {
   if (!conn_->closed()) {
     // Reconnecting over a live transport implies abandoning it first.
     conn_->Reset();
   }
   retired_conns_.push_back(std::move(conn_));
   link_ = link;
+  if (kind.has_value()) {
+    transport_kind_ = *kind;
+  }
   conn_ = MakeTransport();
   server_->Attach(conn_.get());
-  client_->Attach(conn_.get());
+  // The decode CPU follows the transport kind: a co-located (loopback)
+  // client decodes on the host CPU, a remote one on its own device.
+  client_->Attach(conn_.get(), transport_kind_ == TransportKind::kLoopback
+                                   ? &server_cpu_
+                                   : &client_cpu_);
   return conn_.get();
 }
 

@@ -5,6 +5,7 @@
 #define THINC_SRC_BASELINES_THINC_SYSTEM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,12 +65,17 @@ class ThincSystem : public RemoteDisplaySystem {
     return &client_->framebuffer();
   }
 
-  // Replaces the (typically reset) transport with a fresh one of the same
-  // kind (over `link` for the wire) and reattaches server and client to it.
-  // The old transport is retired, not destroyed: its in-loop events may
+  // Replaces the (typically reset) transport with a fresh one — of the same
+  // kind by default, or of `kind` when given (wire <-> loopback switches
+  // model a session migrating between remote and co-located hosts; the
+  // client's decode CPU moves with the kind: loopback decodes on the host
+  // CPU, wire on the client device) — and reattaches server and client to
+  // it. The old transport is retired, not destroyed: its in-loop events may
   // still fire (harmlessly, thanks to stale-connection guards) and its
   // traces stay readable for per-phase stats. Returns the new transport.
-  Transport* Reconnect(const LinkParams& link);
+  Transport* Reconnect(const LinkParams& link,
+                       std::optional<TransportKind> kind = std::nullopt);
+  TransportKind transport_kind() const { return transport_kind_; }
   const std::vector<std::unique_ptr<Transport>>& retired_connections() const {
     return retired_conns_;
   }

@@ -46,8 +46,11 @@ void ThincClient::BindConnection() {
   });
 }
 
-void ThincClient::Attach(Transport* conn) {
+void ThincClient::Attach(Transport* conn, CpuAccount* cpu) {
   conn_ = conn;
+  if (cpu != nullptr) {
+    cpu_ = cpu;
+  }
   connected_ = true;
   // Transport state died with the old connection: half-parsed frame bytes,
   // cipher keystream position, the server's stream table (it re-announces).

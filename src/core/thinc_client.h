@@ -68,7 +68,10 @@ class ThincClient {
   // Attach() rebinds to a fresh connection and renegotiates the session —
   // viewport (which triggers the server's full-screen resync update) and
   // cursor position; in pull mode it also re-arms the update request.
-  void Attach(Transport* conn);
+  // `cpu` optionally rebinds where the client's decode work is booked — a
+  // transport-kind switch (wire client CPU <-> co-located host CPU) moves
+  // the decode cost with it. nullptr keeps the current account.
+  void Attach(Transport* conn, CpuAccount* cpu = nullptr);
   bool connected() const { return connected_; }
 
   // --- Measurement -------------------------------------------------------------

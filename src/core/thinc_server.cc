@@ -128,6 +128,12 @@ void ThincServer::Attach(Transport* conn) {
   // refresh supersedes it.
   scheduler_.Clear();
   full_refresh_needed_ = false;
+  // Until the new client renegotiates (and the resync refresh is queued),
+  // the empty queues say nothing about what the client holds — block
+  // unacked-region clearing across the window. Each Attach() defaults to a
+  // full-refresh resync; a migration re-arms the differential one after.
+  resync_pending_ = true;
+  resync_armed_ = false;
   BindConnection();
   ReannounceStreams();
   // No refresh yet: the client's renegotiated viewport message triggers the
@@ -184,8 +190,11 @@ void ThincServer::EnforceSchedulerCap() {
   // under the cap). Past that, the backlog is worth less than a snapshot of
   // the current screen — collapse it and mark one full-screen refresh to be
   // materialized at the next connected flush.
+  const double budget_frames =
+      degradation_level_ == 0 ? std::max(1.0, options_.backlog_cap_framebuffers)
+                              : 1.0;
   const size_t cap =
-      (degradation_level_ == 0 ? 2 : 1) * FramebufferBytes();
+      static_cast<size_t>(budget_frames * static_cast<double>(FramebufferBytes()));
   if (scheduler_.TotalBytes() <= cap) {
     return;
   }
@@ -400,6 +409,13 @@ std::vector<std::unique_ptr<Command>> ThincServer::ResizeForViewport(
 }
 
 void ThincServer::InsertOutgoing(std::unique_ptr<Command> cmd) {
+  // Migration bookkeeping: fold this command's output into the unacked
+  // region (server screen coordinates, before viewport scaling) — even when
+  // the backlog was coalesced and the command itself is dropped, its pixels
+  // live on the reference screen and a resync must cover them. Clearing
+  // first keeps the region tight when everything prior was delivered.
+  MaybeClearUnacked();
+  unacked_region_ = unacked_region_.Union(cmd->region());
   if (full_refresh_needed_) {
     // The backlog was coalesced: a pending full-screen snapshot will be read
     // from the live framebuffer, which already (or will) contain this
@@ -926,7 +942,18 @@ void ThincServer::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
         }
         viewport_ = vp;
       }
-      SendFullRefresh();
+      // The renegotiation that follows an Attach() triggers the resync: the
+      // region-only refresh when a migration armed one, the full screen
+      // otherwise (mid-session viewport changes always take the full path —
+      // resync_armed_ is only ever set between Attach() and this message).
+      resync_pending_ = false;
+      if (resync_armed_) {
+        resync_armed_ = false;
+        SendPartialRefresh(resync_region_);
+        resync_region_ = Region();
+      } else {
+        SendFullRefresh();
+      }
       return;
     }
     case MsgType::kUpdateRequest: {
@@ -945,6 +972,67 @@ void ThincServer::SendFullRefresh() {
   auto raw = std::make_unique<RawCommand>(all, screen.GetPixels(all));
   raw->set_compression_enabled(options_.compress_raw);
   InsertOutgoing(std::move(raw));
+}
+
+void ThincServer::SendPartialRefresh(const Region& region) {
+  const Surface& screen = window_server_->screen();
+  for (const Rect& r : region.rects()) {
+    Rect clipped = r.Intersect(screen.bounds());
+    if (clipped.empty()) {
+      continue;
+    }
+    auto raw = std::make_unique<RawCommand>(clipped, screen.GetPixels(clipped));
+    raw->set_compression_enabled(options_.compress_raw);
+    InsertOutgoing(std::move(raw));
+  }
+}
+
+void ThincServer::MaybeClearUnacked() {
+  if (unacked_region_.empty()) {
+    return;
+  }
+  // Sound over-approximation: only clear when everything ever generated was
+  // provably delivered AND applied (clients decode synchronously on
+  // delivery) — all queues empty, no coalesced snapshot or resync owed, and
+  // the transport idle in both directions.
+  if (!connected_ || resync_pending_ || full_refresh_needed_) {
+    return;
+  }
+  if (scheduler_.count() != 0 || pending_ != nullptr || !audio_queue_.empty() ||
+      !video_queue_.empty()) {
+    return;
+  }
+  if (conn_ == nullptr || conn_->closed() || !conn_->Idle()) {
+    return;
+  }
+  unacked_region_ = Region();
+}
+
+size_t ThincServer::MigrationDeltaBudgetBytes() const {
+  return static_cast<size_t>(std::max(1.0, options_.backlog_cap_framebuffers) *
+                             static_cast<double>(FramebufferBytes()));
+}
+
+size_t ThincServer::MigrationStateBytes() {
+  MaybeClearUnacked();
+  const size_t dirty =
+      static_cast<size_t>(unacked_region_.Area()) * sizeof(Pixel);
+  if (dirty > MigrationDeltaBudgetBytes()) {
+    return kMigrationDescriptorBytes + FramebufferBytes();
+  }
+  return kMigrationDescriptorBytes + dirty;
+}
+
+void ThincServer::ArmDifferentialResync() {
+  const size_t dirty =
+      static_cast<size_t>(unacked_region_.Area()) * sizeof(Pixel);
+  if (dirty > MigrationDeltaBudgetBytes()) {
+    // Delta over budget: the plain full-refresh resync is cheaper.
+    resync_armed_ = false;
+    return;
+  }
+  resync_region_ = unacked_region_;
+  resync_armed_ = true;
 }
 
 }  // namespace thinc

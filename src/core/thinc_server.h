@@ -67,6 +67,14 @@ struct ThincServerOptions {
   // already encoded is reused at flush time and its encode CPU charge is
   // skipped, amortizing encode cost to ~1 per frame across N viewers.
   ByteBufferCache* shared_frame_cache = nullptr;
+  // Reconnect backlog budget, in framebuffers: while disconnected or
+  // stalled, the scheduler backlog may grow to this many framebuffers of
+  // encoded bytes before being coalesced into one full-screen snapshot.
+  // The same budget caps the differential state a live migration may ship
+  // (MigrationStateBytes): a dirty delta larger than the budget degrades to
+  // a full framebuffer snapshot. Values below 1.0 are clamped to 1.0 at use
+  // (the collapse snapshot itself must fit under the cap).
+  double backlog_cap_framebuffers = 2.0;
   // Chrome-trace host name registered for this server's pid. A fleet host
   // names each session distinctly ("fleet-session-3") so traces separate.
   std::string telemetry_host = "thinc-server";
@@ -137,6 +145,41 @@ class ThincServer : public DisplayDriver {
   void Attach(Transport* conn);
   bool connected() const { return connected_; }
 
+  // --- Live migration (cluster) ----------------------------------------------
+  // The migration protocol is the reconnect protocol plus a differential
+  // resync: the server tracks the region drawn since the last instant the
+  // client provably held a pixel-exact copy of the screen (the "unacked"
+  // region, cleared whenever every queue is empty and the transport has
+  // delivered everything). When a ClusterController moves the session it
+  // ships MigrationStateBytes() over the interconnect — a fixed descriptor
+  // plus the unacked region's pixels when that delta fits the reconnect
+  // backlog budget, else a full framebuffer snapshot — and arms the
+  // destination server with ArmDifferentialResync() so the client's
+  // renegotiation triggers a RAW refresh of only the dirty region instead
+  // of the whole screen.
+  //
+  // Fixed per-session descriptor shipped by every migration: viewport,
+  // stream table, cipher state, scheduler metadata.
+  static constexpr size_t kMigrationDescriptorBytes = 4096;
+  // Serialized handoff size for migrating this session right now (clears
+  // the unacked region first when provably delivered, so an idle session
+  // ships only the descriptor).
+  size_t MigrationStateBytes();
+  // Arm the next client-driven resync to cover only the current unacked
+  // region (no-op — i.e. stay with the full refresh — when the delta does
+  // not fit the budget). Call between Attach() and the client's viewport
+  // renegotiation.
+  void ArmDifferentialResync();
+  bool differential_resync_armed() const { return resync_armed_; }
+  // Region drawn since the client last provably matched the screen.
+  const Region& unacked_region() const { return unacked_region_; }
+  // Migration delta budget in bytes (backlog_cap_framebuffers, floored at
+  // one framebuffer).
+  size_t MigrationDeltaBudgetBytes() const;
+  // Rebind the server's compute to another host's CpuAccount (migration;
+  // call before Attach() so no in-flight charge straddles hosts).
+  void RebindCpu(CpuAccount* cpu) { cpu_ = cpu; }
+
   // --- Overload degradation (fleet) ------------------------------------------
   // Degradation ladder level 0 (full fidelity) .. 3 (survival), set by a
   // host-level controller under CPU/NIC pressure. Each level reuses a paper
@@ -164,8 +207,8 @@ class ThincServer : public DisplayDriver {
   // Subset of video_frames_dropped() shed by ladder decimation.
   int64_t video_frames_decimated() const { return video_frames_decimated_; }
   size_t buffered_commands() const { return scheduler_.count(); }
-  // Bytes currently buffered in the update scheduler (bounded by
-  // 2x framebuffer size through overflow coalescing).
+  // Bytes currently buffered in the update scheduler (bounded by the
+  // backlog_cap_framebuffers budget through overflow coalescing).
   size_t buffered_bytes() const { return scheduler_.TotalBytes(); }
   int64_t reconnects() const { return reconnects_; }
   // Times the scheduler backlog was collapsed into a framebuffer snapshot.
@@ -209,10 +252,18 @@ class ThincServer : public DisplayDriver {
   // Re-sends kVideoSetup for every live stream after Attach() so the fresh
   // client can rebuild its stream table.
   void ReannounceStreams();
-  // Graceful degradation: when the scheduler backlog exceeds twice the
-  // framebuffer size, collapse it into a single full-screen snapshot.
+  // Graceful degradation: when the scheduler backlog exceeds the configured
+  // budget (backlog_cap_framebuffers, default 2x the framebuffer size),
+  // collapse it into a single full-screen snapshot.
   void EnforceSchedulerCap();
   size_t FramebufferBytes() const;
+  // Clears the unacked region when the client provably holds a pixel-exact
+  // copy of the screen: every server-side queue empty, no resync owed, and
+  // the transport idle (clients apply frames synchronously on delivery).
+  void MaybeClearUnacked();
+  // Queues RAW updates of `region` read from the reference screen (the
+  // armed differential resync; full-screen region == SendFullRefresh).
+  void SendPartialRefresh(const Region& region);
 
   // Books the CPU time for encoding `pending_` and returns its completion
   // time. RAW encodes above kEncodeSliceCostUs split into per-band slices
@@ -282,6 +333,18 @@ class ThincServer : public DisplayDriver {
   bool full_refresh_needed_ = false;  // backlog coalesced into a snapshot
   int64_t reconnects_ = 0;
   int64_t overflow_coalesces_ = 0;
+
+  // Migration / differential-resync state. `unacked_region_` accumulates in
+  // server screen coordinates (pre-viewport scaling) and is a sound
+  // over-approximation of what the client might not have: it only clears
+  // when everything generated was provably delivered and applied.
+  // `resync_pending_` spans Attach() to the client's renegotiation — the
+  // window in which queues are empty but the client is known-stale — and
+  // blocks clearing during it.
+  Region unacked_region_;
+  Region resync_region_;       // snapshot shipped by the armed resync
+  bool resync_armed_ = false;  // next renegotiation refreshes resync_region_
+  bool resync_pending_ = false;
 
   int64_t video_frames_sent_ = 0;
   int64_t video_frames_dropped_ = 0;

@@ -36,6 +36,9 @@ class WindowServer : public DrawingApi {
 
   void set_driver(DisplayDriver* driver) { driver_ = driver; }
   DisplayDriver* driver() const { return driver_; }
+  // Rebinds rendering-cost accounting to another host's CPU (live session
+  // migration moves the whole server-side stack).
+  void set_cpu(CpuAccount* cpu) { cpu_ = cpu; }
 
   // --- Drawables ------------------------------------------------------------
   DrawableId CreatePixmap(int32_t width, int32_t height) override;

@@ -94,42 +94,26 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
   // the public accessors, the seed derivation, and the telemetry host name
   // all agree on one numbering even after parks/rejects.
   const size_t id = sessions_.size();
-  auto s = std::make_unique<Session>();
+  auto s = std::make_unique<FleetSession>();
   s->id = id;
   s->seed = DeriveSessionSeed(options_.seed, id);
   s->local = local;
   s->demand = demand;
-  if (local) {
-    s->demand.nic_bytes_per_sec = 0;  // no wire, no NIC share to account
-  }
   s->prng = Prng(s->seed);
   // Two sessions sharing a PRNG stream would correlate "independent"
   // workloads; the derivation makes it impossible, and this check keeps it
-  // that way if the derivation ever changes.
+  // that way if the derivation ever changes. Migrated-out slots are
+  // tombstones; migrated-in seeds are checked by InsertSession.
   for (const auto& other : sessions_) {
-    THINC_CHECK_MSG(EffectiveSeed(other->seed) != EffectiveSeed(s->seed),
+    THINC_CHECK_MSG(other == nullptr ||
+                        EffectiveSeed(other->seed) != EffectiveSeed(s->seed),
                     "fleet sessions must not share a PRNG stream");
   }
 
-  CpuAccount* client_cpu = nullptr;
-  if (local) {
-    // Co-located session: frames reach the client as ref-counted loopback
-    // handoffs (never through the NIC), and the client decodes on the host
-    // CPU — it IS the host.
-    s->transport =
-        std::make_unique<LoopbackTransport>(loop_, &host_cpu_, options_.loopback);
-    client_cpu = &host_cpu_;
-  } else {
-    auto wire = std::make_unique<Connection>(loop_, options_.link,
-                                             options_.send_buffer_bytes);
-    wire->AttachUplink(&nic_, weight);
-    s->wire = wire.get();
-    s->transport = std::move(wire);
-    s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
-    client_cpu = s->client_cpu.get();
-  }
+  CpuAccount* client_cpu = AttachTransport(s.get(), weight, local);
   ThincServerOptions server_options = options_.server_options;
-  server_options.telemetry_host = "fleet-session-" + std::to_string(id);
+  server_options.telemetry_host =
+      options_.session_name_prefix + std::to_string(id);
   ThincClientOptions client_options = options_.client_options;
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
@@ -144,7 +128,53 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
                                             options_.screen_width,
                                             options_.screen_height,
                                             client_options);
-  Session* raw = s.get();
+  BindInputHandler(s.get());
+
+  admitted_cpu_us_per_sec_ += s->demand.cpu_us_per_sec;
+  if (!local) {
+    admitted_nic_bytes_per_sec_ += s->demand.nic_bytes_per_sec;
+  }
+  if (local) {
+    ++local_count_;
+  }
+  ++live_sessions_;
+  sessions_.push_back(std::move(s));
+  {
+    static Counter* admitted =
+        MetricsRegistry::Get().GetCounter("fleet.admitted");
+    static Gauge* count = MetricsRegistry::Get().GetGauge("fleet.sessions");
+    static Gauge* locals = MetricsRegistry::Get().GetGauge("fleet.local_sessions");
+    admitted->Inc();
+    count->Set(static_cast<int64_t>(live_sessions_));
+    locals->Set(static_cast<int64_t>(local_count_));
+  }
+  return Admission::kAdmitted;
+}
+
+CpuAccount* FleetHost::AttachTransport(FleetSession* s, int64_t weight,
+                                       bool local) {
+  s->wire = nullptr;
+  if (local) {
+    // Co-located session: frames reach the client as ref-counted loopback
+    // handoffs (never through the NIC), and the client decodes on the host
+    // CPU — it IS the host.
+    s->transport =
+        std::make_unique<LoopbackTransport>(loop_, &host_cpu_, options_.loopback);
+    return &host_cpu_;
+  }
+  auto wire = std::make_unique<Connection>(loop_, options_.link,
+                                           options_.send_buffer_bytes);
+  wire->AttachUplink(&nic_, weight);
+  s->wire = wire.get();
+  s->transport = std::move(wire);
+  if (s->client_cpu == nullptr) {
+    s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
+  }
+  return s->client_cpu.get();
+}
+
+void FleetHost::BindInputHandler(FleetSession* s) {
+  FleetSession* raw = s;
   s->server->SetInputHandler([raw](Point p, int32_t button) {
     raw->ws->InjectInput(p);
     // Button 0 is a position-only event (cursor sync); only real clicks
@@ -153,23 +183,74 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
       raw->input_fn(p);
     }
   });
+}
 
+std::unique_ptr<FleetSession> FleetHost::ExtractSession(size_t id) {
+  THINC_CHECK_MSG(has_session(id), "extracting an empty fleet slot");
+  std::unique_ptr<FleetSession> s = std::move(sessions_[id]);
+  // Park both endpoints: the reset notifies server and client through their
+  // closed callbacks (on fresh loop events), after which the server holds
+  // its virtual display state and the client its last applied frame.
+  if (!s->transport->closed()) {
+    s->transport->Reset();
+  }
+  admitted_cpu_us_per_sec_ -= s->demand.cpu_us_per_sec;
+  if (!s->local) {
+    admitted_nic_bytes_per_sec_ -= s->demand.nic_bytes_per_sec;
+  }
+  if (s->local) {
+    --local_count_;
+  }
+  --live_sessions_;
+  static Counter* out = MetricsRegistry::Get().GetCounter("fleet.migrated_out");
+  out->Inc();
+  return s;
+}
+
+std::optional<size_t> FleetHost::InsertSession(
+    std::unique_ptr<FleetSession>* session, int64_t weight, bool local) {
+  FleetSession* s = session->get();
+  THINC_CHECK(s != nullptr);
+  if (!FitsHeadroom(s->demand, local)) {
+    return std::nullopt;
+  }
+  for (const auto& other : sessions_) {
+    THINC_CHECK_MSG(other == nullptr ||
+                        EffectiveSeed(other->seed) != EffectiveSeed(s->seed),
+                    "fleet sessions must not share a PRNG stream");
+  }
+  const size_t id = sessions_.size();
+  s->id = id;
+  s->local = local;
+  // The old host's transport is spent; keep it alive (loop events and
+  // traces reference it) and build a fresh one on this host's resources.
+  if (s->transport != nullptr) {
+    s->retired.push_back(std::move(s->transport));
+  }
+  CpuAccount* client_cpu = AttachTransport(s, weight, local);
+  // Move the whole server-side stack onto this host's CPU before any new
+  // work is charged, then resynchronize through the reconnect protocol with
+  // the differential resync armed: the client's renegotiation pulls only
+  // the region drawn since it provably matched the screen.
+  s->server->RebindCpu(&host_cpu_);
+  s->ws->set_cpu(&host_cpu_);
+  s->server->Attach(s->transport.get());
+  s->server->ArmDifferentialResync();
+  s->client->Attach(s->transport.get(), client_cpu);
   admitted_cpu_us_per_sec_ += s->demand.cpu_us_per_sec;
-  admitted_nic_bytes_per_sec_ += s->demand.nic_bytes_per_sec;
+  if (!local) {
+    admitted_nic_bytes_per_sec_ += s->demand.nic_bytes_per_sec;
+  }
   if (local) {
     ++local_count_;
   }
-  sessions_.push_back(std::move(s));
-  {
-    static Counter* admitted =
-        MetricsRegistry::Get().GetCounter("fleet.admitted");
-    static Gauge* count = MetricsRegistry::Get().GetGauge("fleet.sessions");
-    static Gauge* locals = MetricsRegistry::Get().GetGauge("fleet.local_sessions");
-    admitted->Inc();
-    count->Set(static_cast<int64_t>(sessions_.size()));
-    locals->Set(static_cast<int64_t>(local_count_));
-  }
-  return Admission::kAdmitted;
+  ++live_sessions_;
+  sessions_.push_back(std::move(*session));
+  static Counter* in = MetricsRegistry::Get().GetCounter("fleet.migrated_in");
+  static Gauge* count = MetricsRegistry::Get().GetGauge("fleet.sessions");
+  in->Inc();
+  count->Set(static_cast<int64_t>(live_sessions_));
+  return id;
 }
 
 void FleetHost::ClientClick(size_t id, Point location) {
@@ -194,21 +275,22 @@ void FleetHost::StartController(SimTime until) {
                   [this, until] { ControllerTick(until); });
 }
 
-void FleetHost::ControllerTick(SimTime until) {
+FleetHost::OverloadSignals FleetHost::ComputeOverloadSignals() const {
   const SimTime now = loop_->now();
+  OverloadSignals sig;
   // Max-per-core lag: on a K-core host the overload signal is the MOST
   // loaded core, not the least — one core pinned a second behind means some
   // session's pipeline runs a second late even if other cores idle.
-  const SimTime cpu_lag = host_cpu_.max_core_lag(now);
+  sig.cpu_lag_us = host_cpu_.max_core_lag(now);
   // NIC lag is drain time for everything queued at the uplink. The WFQ
   // scheduler itself holds at most the in-flight segment; the backlog lives
   // in the per-session socket buffers feeding it.
   int64_t socket_bytes = 0;
   int64_t sched_bytes = 0;
   for (const auto& s : sessions_) {
-    if (s->local) {
-      // Loopback backlog never wants the wire: its pressure shows up as CPU
-      // lag, not NIC lag.
+    if (s == nullptr || s->local) {
+      // Migrated-out tombstone, or loopback backlog that never wants the
+      // wire (its pressure shows up as CPU lag, not NIC lag).
       continue;
     }
     socket_bytes += static_cast<int64_t>(
@@ -222,7 +304,7 @@ void FleetHost::ControllerTick(SimTime until) {
         bytes * 8 * kSecond /
         std::max<int64_t>(1, options_.link.bandwidth_bps));
   };
-  const SimTime nic_lag = wire_busy + drain_time(socket_bytes);
+  sig.nic_lag_us = wire_busy + drain_time(socket_bytes);
   // At degraded levels the ladder's socket-backlog budget caps socket bytes
   // at a few tens of KiB per session while the real backlog waits in the
   // update scheduler, so nic_lag under-reads uplink demand exactly while
@@ -230,8 +312,16 @@ void FleetHost::ControllerTick(SimTime until) {
   // bytes (an upper bound on what still wants the wire — eviction and
   // coalescing only shrink it); restoring on the budget-capped socket metric
   // alone limit-cycles: restore -> socket refloods -> degrade again.
-  const SimTime nic_demand_lag =
-      wire_busy + drain_time(socket_bytes + sched_bytes);
+  sig.nic_demand_lag_us = wire_busy + drain_time(socket_bytes + sched_bytes);
+  return sig;
+}
+
+void FleetHost::ControllerTick(SimTime until) {
+  const SimTime now = loop_->now();
+  const OverloadSignals sig = ComputeOverloadSignals();
+  const SimTime cpu_lag = sig.cpu_lag_us;
+  const SimTime nic_lag = sig.nic_lag_us;
+  const SimTime nic_demand_lag = sig.nic_demand_lag_us;
   static Counter* ticks = MetricsRegistry::Get().GetCounter("fleet.controller_ticks");
   static Gauge* cpu_lag_g = MetricsRegistry::Get().GetGauge("fleet.cpu_lag_us");
   static Gauge* nic_lag_g = MetricsRegistry::Get().GetGauge("fleet.nic_lag_us");
@@ -280,6 +370,9 @@ void FleetHost::ControllerTick(SimTime until) {
     const bool demand_hot = nic_demand_lag > options_.overload_lag;
     int max_level = 0;
     for (auto& s : sessions_) {
+      if (s == nullptr) {
+        continue;  // migrated-out tombstone
+      }
       if (host_hot) {
         s->under_ticks = 0;
         if (++s->over_ticks >= options_.ticks_to_degrade) {

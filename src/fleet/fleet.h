@@ -41,6 +41,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/core/thinc_client.h"
@@ -110,6 +112,42 @@ struct FleetOptions {
   // shared-memory LoopbackTransport instead of a wire (no NIC contention;
   // handoffs and client decode charge the shared host CPU).
   LoopbackOptions loopback;
+  // Chrome-trace host-name prefix for per-session pids (the slot id is
+  // appended). A cluster overrides it per host ("cluster-h2-session-") so
+  // traces from many hosts stay distinguishable.
+  std::string session_name_prefix = "fleet-session-";
+};
+
+// One admitted session's complete state: the full server/client stack plus
+// the identity (seed, PRNG stream, declared demand) that must survive a live
+// migration to another FleetHost. Owned by its current host; ExtractSession
+// releases it for a ClusterController to move.
+struct FleetSession {
+  size_t id = 0;  // slot index on the CURRENT host (reassigned on insert)
+  uint64_t seed = 0;
+  bool local = false;
+  // Demand as DECLARED at cluster/fleet admission. Hosts account the
+  // effective demand (NIC zeroed while local) so a session migrating from a
+  // co-located slot back to a remote one regains its NIC share.
+  FleetSessionDemand demand;
+  std::unique_ptr<Transport> transport;
+  Connection* wire = nullptr;  // transport downcast; null when local
+  // Transports retired by migration stay alive: scheduled loop events and
+  // readable traces still reference them.
+  std::vector<std::unique_ptr<Transport>> retired;
+  std::unique_ptr<ThincServer> server;
+  std::unique_ptr<WindowServer> ws;
+  // Remote clients decode on their own terminal (1.0x); null for local
+  // sessions, whose client shares the host CPU. Kept across migrations so a
+  // local->remote switch reuses the same terminal account.
+  std::unique_ptr<CpuAccount> client_cpu;
+  std::unique_ptr<ThincClient> client;
+  Prng prng{1};
+  std::function<void(Point)> input_fn;
+  // Controller hysteresis state (travels with the session: its degradation
+  // level does too, and the new host's controller restores it when calm).
+  int over_ticks = 0;
+  int under_ticks = 0;
 };
 
 class FleetHost {
@@ -140,8 +178,49 @@ class FleetHost {
   // next tick would land past `until`, so EventLoop::Run() terminates.
   void StartController(SimTime until);
 
-  // --- Per-session access (id < session_count()) ----------------------------
+  // --- Cluster hooks ---------------------------------------------------------
+  // Instantaneous host pressure, the same math the periodic controller
+  // samples: max-per-core CPU lag, NIC drain lag of socket-resident bytes,
+  // and total uplink demand lag (sockets + scheduler backlogs).
+  struct OverloadSignals {
+    SimTime cpu_lag_us = 0;
+    SimTime nic_lag_us = 0;
+    SimTime nic_demand_lag_us = 0;
+  };
+  OverloadSignals ComputeOverloadSignals() const;
+  // Would `demand` be admitted right now (no side effects)?
+  bool CanAdmit(const FleetSessionDemand& demand, bool local = false) const {
+    return FitsHeadroom(demand, local);
+  }
+  // Summed effective demand of the sessions currently on this host.
+  double admitted_cpu_us_per_sec() const { return admitted_cpu_us_per_sec_; }
+  int64_t admitted_nic_bytes_per_sec() const {
+    return admitted_nic_bytes_per_sec_;
+  }
+
+  // Releases session `id` for a live migration: its transport is reset (the
+  // client parks on its last applied frame; the server parks its virtual
+  // display state — PR 1 reconnect machinery), its demand leaves this host's
+  // admission sums, and its slot becomes a tombstone (other ids keep their
+  // meaning; per-session accessors must not be called on it again).
+  std::unique_ptr<FleetSession> ExtractSession(size_t id);
+  // Installs a migrated-in session: admission-checks its declared demand,
+  // builds a fresh transport on THIS host's NIC (or a loopback when
+  // local=true), rebinds server/window-server compute to this host's CPU,
+  // arms the differential resync, and reattaches the client (decode CPU
+  // follows the transport kind). Returns the new slot id, or nullopt when
+  // the demand does not fit — the session is handed back unmodified.
+  std::optional<size_t> InsertSession(std::unique_ptr<FleetSession>* session,
+                                      int64_t weight = 1, bool local = false);
+
+  // --- Per-session access (id < session_count(), slot not extracted) --------
   size_t session_count() const { return sessions_.size(); }
+  // Slots currently occupied (session_count() minus migrated-out tombstones).
+  size_t live_session_count() const { return live_sessions_; }
+  bool has_session(size_t id) const {
+    return id < sessions_.size() && sessions_[id] != nullptr;
+  }
+  FleetSession* session(size_t id) { return sessions_[id].get(); }
   size_t parked_count() const { return parked_; }
   size_t rejected_count() const { return rejected_; }
 
@@ -176,27 +255,14 @@ class FleetHost {
   int PredictedCapacity(const FleetSessionDemand& demand) const;
 
  private:
-  struct Session {
-    size_t id = 0;
-    uint64_t seed = 0;
-    bool local = false;
-    FleetSessionDemand demand;
-    std::unique_ptr<Transport> transport;
-    Connection* wire = nullptr;  // transport downcast; null when local
-    std::unique_ptr<ThincServer> server;
-    std::unique_ptr<WindowServer> ws;
-    // Remote clients decode on their own terminal (1.0x); null for local
-    // sessions, whose client shares the host CPU.
-    std::unique_ptr<CpuAccount> client_cpu;
-    std::unique_ptr<ThincClient> client;
-    Prng prng{1};
-    InputFn input_fn;
-    // Controller hysteresis state.
-    int over_ticks = 0;
-    int under_ticks = 0;
-  };
-
   bool FitsHeadroom(const FleetSessionDemand& demand, bool local) const;
+  // Builds the session's transport on this host (wire on the shared NIC, or
+  // loopback on the host CPU), stores it in `s`, and returns the CPU account
+  // its client decodes on.
+  CpuAccount* AttachTransport(FleetSession* s, int64_t weight, bool local);
+  // Wires the server's input handler to the session's window server and
+  // application callback.
+  void BindInputHandler(FleetSession* s);
   void ControllerTick(SimTime until);
   size_t FramebufferBytes() const;
 
@@ -204,13 +270,16 @@ class FleetHost {
   FleetOptions options_;
   CpuAccount host_cpu_;
   NicScheduler nic_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  // Summed demand of admitted sessions.
+  // Slot id -> session; a migrated-out slot holds nullptr forever.
+  std::vector<std::unique_ptr<FleetSession>> sessions_;
+  // Summed EFFECTIVE demand of sessions currently on the host (local
+  // sessions contribute no NIC share).
   double admitted_cpu_us_per_sec_ = 0;
   int64_t admitted_nic_bytes_per_sec_ = 0;
   size_t parked_ = 0;
   size_t rejected_ = 0;
   size_t local_count_ = 0;
+  size_t live_sessions_ = 0;
   bool controller_running_ = false;
 };
 

@@ -58,6 +58,15 @@ ExperimentConfig LocalLoopbackConfig() {
   return c;
 }
 
+ClusterExperimentConfig WebClusterConfig(int hosts) {
+  ClusterExperimentConfig c;
+  c.hosts = hosts;
+  // The fleet web-sweep NIC: one host of this shape knees around 6 web
+  // sessions, so per-host and cluster knees line up.
+  c.link = LinkParams{1'000'000, 20 * kMillisecond, 256 << 10, "cluster-nic"};
+  return c;
+}
+
 ExperimentConfig WanDesktopConfig() {
   ExperimentConfig c;
   c.name = "WAN";

@@ -456,5 +456,77 @@ TEST(RelayZeroCopyTest, ForwardedBytesAreNeverRecopied) {
   EXPECT_EQ(after.copies, before.copies);
 }
 
+// --- Reconnect kind switching -------------------------------------------------
+
+size_t MismatchedPixels(const Surface& a, const Surface& b) {
+  size_t bad = 0;
+  for (int32_t y = 0; y < a.height(); ++y) {
+    for (int32_t x = 0; x < a.width(); ++x) {
+      bad += a.At(x, y) != b.At(x, y) ? 1 : 0;
+    }
+  }
+  return bad;
+}
+
+// A session that starts on `start`, loses its transport mid-outage drawing,
+// and reconnects onto `resume` — possibly a different transport kind (the
+// cluster migrates sessions between remote wires and co-located loopbacks).
+// Returns the delivered-byte hash of the POST-rebind transport; phases are
+// quiesced so the resync and follow-on streams are content-determined.
+uint64_t RunKindSwitchSession(TransportKind start, TransportKind resume,
+                              size_t* mismatched = nullptr) {
+  EventLoop loop;
+  ThincSystem sys(&loop, LanDesktopLink(), 128, 96, ThincServerOptions{},
+                  ThincClientOptions{}, /*cpu_cores=*/1, start);
+  WindowServer* ws = sys.window_server();
+  ws->FillRect(kScreenDrawable, Rect{0, 0, 128, 96}, MakePixel(30, 60, 90));
+  ws->DrawText(kScreenDrawable, Point{10, 10}, "phase one", kWhite);
+  loop.Run();  // phase 1 fully delivered on the original kind
+  sys.connection()->Reset();
+  loop.Run();
+  // Drawn while parked: the resync on the NEW kind must carry it.
+  ws->FillRect(kScreenDrawable, Rect{20, 30, 60, 40}, MakePixel(200, 120, 10));
+  Transport* fresh = sys.Reconnect(LanDesktopLink(), resume);
+  EXPECT_EQ(fresh->kind(), resume);
+  EXPECT_EQ(sys.transport_kind(), resume);
+  loop.Run();  // renegotiation + resync delivered
+  ws->ScrollUp(kScreenDrawable, Rect{0, 48, 128, 48}, 8, kWhite);
+  loop.Run();
+  EXPECT_TRUE(sys.server()->connected());
+  EXPECT_TRUE(sys.client()->connected());
+  if (mismatched != nullptr) {
+    *mismatched = MismatchedPixels(sys.client()->framebuffer(), ws->screen());
+  }
+  return fresh->DeliveredHashTo(Transport::kClient);
+}
+
+TEST(ReconnectKindSwitchTest, WireSessionResumesOnLoopback) {
+  size_t mismatched = 1;
+  RunKindSwitchSession(TransportKind::kWire, TransportKind::kLoopback,
+                       &mismatched);
+  EXPECT_EQ(mismatched, 0u);
+}
+
+TEST(ReconnectKindSwitchTest, LoopbackSessionResumesOnWire) {
+  size_t mismatched = 1;
+  RunKindSwitchSession(TransportKind::kLoopback, TransportKind::kWire,
+                       &mismatched);
+  EXPECT_EQ(mismatched, 0u);
+}
+
+TEST(ReconnectKindSwitchTest, PostRebindStreamHashMatchesAcrossKinds) {
+  // The same parked session resumed on a wire vs on a loopback must push a
+  // byte-identical post-rebind stream — the rebound kind carries the resync
+  // and the follow-on phase, it never shapes them.
+  size_t same_kind = 1, switched = 1;
+  const uint64_t wire_resume = RunKindSwitchSession(
+      TransportKind::kWire, TransportKind::kWire, &same_kind);
+  const uint64_t loopback_resume = RunKindSwitchSession(
+      TransportKind::kWire, TransportKind::kLoopback, &switched);
+  EXPECT_EQ(same_kind, 0u);
+  EXPECT_EQ(switched, 0u);
+  EXPECT_EQ(wire_resume, loopback_resume);
+}
+
 }  // namespace
 }  // namespace thinc
