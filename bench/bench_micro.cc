@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.h"
 #include "src/telemetry/telemetry.h"
+#include "src/codec/delta.h"
 #include "src/codec/hextile.h"
 #include "src/codec/lzss.h"
 #include "src/codec/pnglike.h"
@@ -113,6 +114,167 @@ void BM_Rle32Encode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
 }
 BENCHMARK(BM_Rle32Encode);
+
+void BM_DeltaEncodeSmallChange(benchmark::State& state) {
+  // The adaptive rung's common case: one dirty block in an otherwise
+  // unchanged frame — the diff walk dominates, the literal encode is tiny.
+  std::vector<Pixel> ref = ScreenLikePixels(256, 256);
+  std::vector<Pixel> cur = ref;
+  cur[128 * 256 + 128] = kBlack;
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = DeltaEncode(ref, cur, 256, 256);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ref.size() * 4);
+}
+BENCHMARK(BM_DeltaEncodeSmallChange);
+
+void BM_DeltaEncodeScroll(benchmark::State& state) {
+  // Worst useful case: everything moved, nothing matches in place — row
+  // hashing, vote counting, and COPY verification all run.
+  std::vector<Pixel> ref = ScreenLikePixels(256, 256);
+  std::vector<Pixel> cur(ref.size());
+  std::copy(ref.begin() + 16 * 256, ref.end(), cur.begin());
+  std::copy(ref.begin(), ref.begin() + 16 * 256, cur.end() - 16 * 256);
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = DeltaEncode(ref, cur, 256, 256);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ref.size() * 4);
+}
+BENCHMARK(BM_DeltaEncodeScroll);
+
+void BM_DeltaDecode(benchmark::State& state) {
+  std::vector<Pixel> ref = ScreenLikePixels(256, 256);
+  std::vector<Pixel> cur = ref;
+  for (int32_t y = 96; y < 160; ++y) {
+    for (int32_t x = 96; x < 160; ++x) {
+      cur[static_cast<size_t>(y) * 256 + x] = kWhite;
+    }
+  }
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 256, 256);
+  for (auto _ : state) {
+    std::vector<Pixel> out;
+    bool ok = DeltaDecode(enc, ref, 256, 256, &out);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ref.size() * 4);
+}
+BENCHMARK(BM_DeltaDecode);
+
+// --- SegmentQueue / frame fragmentation --------------------------------------
+//
+// The socket send path: frames append as zero-copy views and drain in
+// MSS-sized pops; a failed partial send prepends the remainder. These ops
+// bound how fast the simulator can push bytes through every Connection.
+
+void BM_SegmentQueueAppendPop(benchmark::State& state) {
+  const ByteBuffer frame =
+      ByteBuffer::Adopt(std::vector<uint8_t>(64 << 10, 0x42));
+  SegmentQueue q;
+  for (auto _ : state) {
+    q.Append(frame.Share());
+    while (!q.empty()) {
+      ByteBuffer seg = q.PopUpTo(1460);
+      benchmark::DoNotOptimize(seg.size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (64 << 10));
+}
+BENCHMARK(BM_SegmentQueueAppendPop);
+
+void BM_SegmentQueuePartialSendRequeue(benchmark::State& state) {
+  // Pop an MSS, send half, put the rest back — the stalled-socket pattern.
+  const ByteBuffer frame =
+      ByteBuffer::Adopt(std::vector<uint8_t>(16 << 10, 0x42));
+  SegmentQueue q;
+  for (auto _ : state) {
+    q.Append(frame.Share());
+    while (!q.empty()) {
+      ByteBuffer seg = q.PopUpTo(1460);
+      if (seg.size() > 730) {
+        q.Prepend(seg.Slice(730, seg.size() - 730));
+      }
+      benchmark::DoNotOptimize(q.size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (16 << 10));
+}
+BENCHMARK(BM_SegmentQueuePartialSendRequeue);
+
+void BM_RawCommandSplitOff(benchmark::State& state) {
+  // Socket-space-limited commit: a screen-sized RAW splits into send-buffer
+  // sized parts, each sharing the original pixel storage.
+  std::vector<Pixel> px = ScreenLikePixels(512, 256);
+  const Rect rect{0, 0, 512, 256};
+  RawCommand base(rect, px);
+  PixelBuffer shared = base.SharePayload();
+  for (auto _ : state) {
+    RawCommand cmd(rect, shared.Share());
+    int parts = 0;
+    while (auto part = cmd.SplitOff(64 << 10)) {
+      ++parts;
+      benchmark::DoNotOptimize(part->region().Area());
+    }
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * px.size() * 4);
+}
+BENCHMARK(BM_RawCommandSplitOff);
+
+// --- Telemetry stamp sites ---------------------------------------------------
+//
+// Every update stamps up to 8 lifecycle points; these two benches bound the
+// per-update cost with spans on and confirm the stamp sites collapse to
+// no-ops when telemetry is off.
+
+void StampOneUpdate(Telemetry& telemetry, SimTime t) {
+  const uint64_t id = telemetry.NewUpdateSpan(1, /*server_pid=*/1, t);
+  telemetry.StampPicked(id, t + 1);
+  telemetry.StampEncode(id, t + 1, t + 2, /*cache_hit=*/false);
+  telemetry.StampCommit(id, t + 3, 1460);
+  telemetry.NoteFrameCommitted(id, t + 3);
+  telemetry.StampDelivered(id, /*client_pid=*/2, t + 4);
+  telemetry.StampDecoded(id, t + 5);
+  telemetry.StampDamaged(id, t + 6);
+}
+
+void BM_TelemetryStampsOn(benchmark::State& state) {
+  Telemetry& telemetry = Telemetry::Get();
+  TelemetryConfig cfg;
+  cfg.spans = true;
+  telemetry.Configure(cfg);
+  telemetry.ResetRuntime();
+  SimTime t = 0;
+  size_t since_reset = 0;
+  for (auto _ : state) {
+    StampOneUpdate(telemetry, t);
+    t += 10;
+    if (++since_reset == 4096) {  // bound the span vector
+      state.PauseTiming();
+      telemetry.ResetRuntime();
+      since_reset = 0;
+      state.ResumeTiming();
+    }
+  }
+  telemetry.Configure(TelemetryConfig{});
+  telemetry.ResetRuntime();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryStampsOn);
+
+void BM_TelemetryStampsOff(benchmark::State& state) {
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Configure(TelemetryConfig{});
+  telemetry.ResetRuntime();
+  SimTime t = 0;
+  for (auto _ : state) {
+    StampOneUpdate(telemetry, t);
+    t += 10;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryStampsOff);
 
 void BM_SurfaceFill(benchmark::State& state) {
   Surface s(1024, 768);

@@ -25,7 +25,7 @@ esac
 # Tests exercising the zero-copy buffer architecture end to end: buffer
 # primitives, command encode caches, offscreen queue-copy CoW, shared-session
 # frame reuse, and the segment-queue send path.
-SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay|Cluster'
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay|Cluster|Codec|Delta|Adapt'
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== tier-1: default preset build + full ctest =="
@@ -65,6 +65,13 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # that blackout p95 stays under the full-refresh handoff bound.
   echo "== cluster smoke: bench_cluster --smoke =="
   ./build/bench/bench_cluster --smoke
+
+  # Codec smoke: a WAN desktop-repaint run with adaptive selection off, then
+  # on; THINC_CHECKs that the delta rung engages (hits > 0), that both arms
+  # deliver pixel-exact framebuffers, and that delta moves fewer wire bytes
+  # than intra at equal fidelity.
+  echo "== codec smoke: bench_codec --smoke =="
+  ./build/bench/bench_codec --smoke
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

@@ -1,0 +1,30 @@
+#include "src/adapt/codec_selector.h"
+
+namespace thinc {
+
+CodecChoice CodecSelector::Choose(int64_t update_pixels,
+                                  int degradation_level) const {
+  if (!options_.enabled || update_pixels < options_.min_delta_pixels) {
+    return CodecChoice::kIntra;
+  }
+  bool bw_known = estimator_ != nullptr && estimator_->HasBandwidth();
+  bool rtt_known = estimator_ != nullptr && estimator_->HasRtt();
+  bool forced = degradation_level >= options_.ladder_force_level;
+  // "Unknown" decides intra, not delta: before the first qualifying sample
+  // every run makes the same conservative choice, so early decisions can
+  // never straddle an estimator-convergence boundary differently across
+  // core counts.
+  bool wan_shaped =
+      (bw_known && estimator_->BandwidthBps() <= options_.delta_max_bandwidth_bps) ||
+      (rtt_known && estimator_->Rtt() >= options_.delta_min_rtt_us);
+  if (!forced && !wan_shaped) {
+    return CodecChoice::kIntra;
+  }
+  if (bw_known &&
+      estimator_->BandwidthBps() <= options_.subsample_max_bandwidth_bps) {
+    return CodecChoice::kDeltaSubsample;
+  }
+  return CodecChoice::kDelta;
+}
+
+}  // namespace thinc

@@ -1,0 +1,77 @@
+// Per-connection codec policy: intra vs temporal delta vs delta with
+// fidelity subsampling, decided per update from the NetEstimator's
+// bandwidth/RTT picture and the host's degradation-ladder level.
+//
+// The decision half of the adaptive codec layer (the QoS-control shape of
+// the VDI streaming literature): LAN-class paths keep the cheap-to-encode
+// intra codecs, WAN-shaped paths (low bandwidth or high RTT) switch to
+// temporal deltas, and starved paths additionally trade fidelity for bytes.
+// The selector is pure policy — it never touches reference validity, which
+// the server owns (DESIGN.md §15).
+#ifndef THINC_SRC_ADAPT_CODEC_SELECTOR_H_
+#define THINC_SRC_ADAPT_CODEC_SELECTOR_H_
+
+#include <cstdint>
+
+#include "src/adapt/net_estimator.h"
+
+namespace thinc {
+
+enum class CodecChoice {
+  kIntra,           // spatial-only encode (RAW + PNG-like)
+  kDelta,           // temporal delta against the delivered reference
+  kDeltaSubsample,  // delta of a fidelity-subsampled payload
+};
+
+struct AdaptOptions {
+  // Master switch: off keeps every server byte-identical to the
+  // pre-adaptive stack (no observer installed, no reference kept).
+  bool enabled = false;
+
+  // Updates below this pixel count never take the delta path: the block
+  // grid + header overhead dominates, and small updates already encode
+  // uncompressed (mirrors RawCommand::kCompressThresholdPixels).
+  int64_t min_delta_pixels = 2048;
+
+  // Delta is preferred when the estimated bandwidth is at or below this
+  // (the link, not the codec, is the bottleneck) ...
+  int64_t delta_max_bandwidth_bps = 50'000'000;
+  // ... or the estimated RTT is at or above this (WAN-shaped path: every
+  // byte saved shortens the window-bound delivery tail).
+  SimTime delta_min_rtt_us = 10 * kMillisecond;
+
+  // At or below this bandwidth the selector also subsamples fidelity —
+  // the adaptive equivalent of the ladder's fidelity rung, reached per
+  // connection instead of per host.
+  int64_t subsample_max_bandwidth_bps = 2'000'000;
+
+  // Degradation-ladder level at which the host forces at-least-delta
+  // regardless of the estimate (the codec rung between backlog caps and
+  // fidelity subsampling).
+  int ladder_force_level = 2;
+};
+
+class CodecSelector {
+ public:
+  // `estimator` may be null (no transport observed yet): every choice is
+  // intra until one is attached.
+  CodecSelector(const AdaptOptions& options, const NetEstimator* estimator)
+      : options_(options), estimator_(estimator) {}
+
+  void set_estimator(const NetEstimator* estimator) {
+    estimator_ = estimator;
+  }
+
+  // Picks the codec for an update of `update_pixels` at the host's current
+  // degradation-ladder level. Pure function of (options, estimate, level):
+  // identical histories give identical choices at any core count K.
+  CodecChoice Choose(int64_t update_pixels, int degradation_level) const;
+
+ private:
+  AdaptOptions options_;
+  const NetEstimator* estimator_;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_ADAPT_CODEC_SELECTOR_H_

@@ -1,0 +1,62 @@
+// Passive per-connection bandwidth/RTT estimation over the transport's
+// delivery feed — the measurement half of the adaptive codec layer.
+//
+// Bandwidth: the sender cannot see the link rate directly, but any frame
+// larger than one MSS serializes as back-to-back segments whose delivery
+// times are spaced by exactly one segment's transmission time. The running
+// MINIMUM inter-arrival gap between consecutive equal-size near-MSS
+// deliveries therefore converges to the true serialization time — the
+// packet-pair technique, exact in the simulator. A running min is
+// order-insensitive, so once converged the estimate is identical no matter
+// how deliveries interleave with other events: this is what keeps codec
+// decisions byte-identical at any core count K.
+//
+// RTT: each wire ack carries the round trip the segment actually
+// experienced; the estimator keeps the latest sample.
+//
+// Unknown is a first-class state: before any qualifying sample (including
+// on the loopback transport, which has no segmentation and no acks) both
+// queries report unknown and the selector stays on intra coding. A link
+// parameter change (fault injection, migration rebind) resets to unknown.
+#ifndef THINC_SRC_ADAPT_NET_ESTIMATOR_H_
+#define THINC_SRC_ADAPT_NET_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "src/net/transport.h"
+
+namespace thinc {
+
+class NetEstimator : public TransportObserver {
+ public:
+  // Observes the direction sent from `sender` (the server's downlink by
+  // default). RTT samples are taken from the same endpoint's acks.
+  explicit NetEstimator(int sender = Transport::kServer) : sender_(sender) {}
+
+  void OnDelivery(int from, SimTime now, size_t bytes) override;
+  void OnRttSample(int from, SimTime rtt) override;
+  void OnLinkChange() override;
+
+  bool HasBandwidth() const { return min_gap_ > 0; }
+  bool HasRtt() const { return rtt_ >= 0; }
+  // Estimated link rate in bits/second; 0 while unknown.
+  int64_t BandwidthBps() const;
+  // Latest round-trip sample in microseconds; -1 while unknown.
+  SimTime Rtt() const { return rtt_; }
+
+  // Drops all state back to unknown (e.g. the connection was rebound to a
+  // different transport during migration).
+  void Invalidate();
+
+ private:
+  int sender_;
+  SimTime prev_time_ = -1;  // previous delivery in the observed direction
+  int64_t prev_bytes_ = 0;
+  SimTime min_gap_ = 0;     // running min gap between equal-size segments
+  int64_t gap_bytes_ = 0;   // segment size the min gap was measured at
+  SimTime rtt_ = -1;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_ADAPT_NET_ESTIMATOR_H_

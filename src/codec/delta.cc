@@ -1,0 +1,474 @@
+#include "src/codec/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "src/codec/pnglike.h"
+#include "src/util/cpu.h"
+
+namespace thinc {
+namespace {
+
+// Payload layout (little-endian):
+//   [u8 version=1][u8 block=16]
+//   per 16-row stripe, top to bottom, runs covering every block column:
+//     [u8 op][u16 run_blocks]
+//     op 0 SKIP        — no body
+//     op 1 COPY        — [i16 dx][i16 dy]; dst(x,y) = ref(x+dx, y+dy)
+//     op 2 LITERAL_RAW — run rect pixels, row-major, 4 bytes each
+//     op 3 LITERAL_PNG — [u32 len][PngLikeEncode of the run rect]
+constexpr uint8_t kDeltaVersion = 1;
+constexpr uint8_t kOpSkip = 0;
+constexpr uint8_t kOpCopy = 1;
+constexpr uint8_t kOpLiteralRaw = 2;
+constexpr uint8_t kOpLiteralPng = 3;
+
+// Literal runs below this pixel count are not worth a PNG-like attempt:
+// filter+LZSS overhead dominates and the attempt costs encode CPU.
+constexpr int64_t kPngAttemptMinPixels = 256;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutI16(std::vector<uint8_t>* out, int16_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 24) & 0xFF));
+}
+
+struct ByteCursor {
+  std::span<const uint8_t> data;
+  size_t pos = 0;
+
+  bool Need(size_t n) const { return data.size() - pos >= n; }
+  uint8_t U8() { return data[pos++]; }
+  uint16_t U16() {
+    uint16_t v = static_cast<uint16_t>(data[pos] | (data[pos + 1] << 8));
+    pos += 2;
+    return v;
+  }
+  int16_t I16() { return static_cast<int16_t>(U16()); }
+  uint32_t U32() {
+    uint32_t v = static_cast<uint32_t>(data[pos]) |
+                 (static_cast<uint32_t>(data[pos + 1]) << 8) |
+                 (static_cast<uint32_t>(data[pos + 2]) << 16) |
+                 (static_cast<uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  }
+};
+
+// FNV-1a over one pixel row; the voting key for scroll detection.
+uint64_t RowHash(const Pixel* row, int32_t width) {
+  uint64_t h = 1469598103934665603ull;
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(row);
+  size_t n = static_cast<size_t>(width) * sizeof(Pixel);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+bool RowsEqual(const Pixel* a, const Pixel* b, int32_t width) {
+  return std::memcmp(a, b, static_cast<size_t>(width) * sizeof(Pixel)) == 0;
+}
+
+// True when the w*h block of `cur` at (x, y) equals `ref` at (x+dx, y+dy).
+// Caller guarantees the source window is in bounds.
+bool BlockMatches(const Pixel* ref, const Pixel* cur, int32_t width, int32_t x,
+                  int32_t y, int32_t bw, int32_t bh, int32_t dx, int32_t dy) {
+  for (int32_t row = 0; row < bh; ++row) {
+    const Pixel* c = cur + static_cast<size_t>(y + row) * width + x;
+    const Pixel* r = ref + static_cast<size_t>(y + dy + row) * width + x + dx;
+    if (std::memcmp(r, c, static_cast<size_t>(bw) * sizeof(Pixel)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Detects a dominant vertical scroll offset: each row of `cur` that exactly
+// matches some row of `ref` votes for dy = ref_row - cur_row. The offset
+// with the most votes wins (ties: smaller |dy|, then smaller dy), making the
+// result independent of map iteration order and fully deterministic.
+int32_t DetectScrollDy(std::span<const Pixel> ref, std::span<const Pixel> cur,
+                       int32_t width, int32_t height) {
+  if (width <= 0 || height < 2 * kDeltaBlockSize) {
+    return 0;
+  }
+  std::unordered_map<uint64_t, std::vector<int32_t>> ref_rows;
+  ref_rows.reserve(static_cast<size_t>(height));
+  for (int32_t y = 0; y < height; ++y) {
+    auto& list = ref_rows[RowHash(ref.data() + static_cast<size_t>(y) * width,
+                                  width)];
+    // Cap candidates per hash: flat content makes every row collide and the
+    // verification pass would go quadratic.
+    if (list.size() < 4) {
+      list.push_back(y);
+    }
+  }
+  std::map<int32_t, int32_t> votes;  // ordered: deterministic tie-break scan
+  for (int32_t y = 0; y < height; ++y) {
+    const Pixel* cur_row = cur.data() + static_cast<size_t>(y) * width;
+    auto it = ref_rows.find(RowHash(cur_row, width));
+    if (it == ref_rows.end()) {
+      continue;
+    }
+    for (int32_t ref_y : it->second) {
+      if (ref_y == y) {
+        continue;  // dy = 0 is SKIP territory, not a scroll vote
+      }
+      if (RowsEqual(ref.data() + static_cast<size_t>(ref_y) * width, cur_row,
+                    width)) {
+        ++votes[ref_y - y];
+        break;
+      }
+    }
+  }
+  int32_t best_dy = 0;
+  int32_t best_votes = 0;
+  for (const auto& [dy, n] : votes) {
+    bool better = n > best_votes ||
+                  (n == best_votes &&
+                   (std::abs(dy) < std::abs(best_dy) ||
+                    (std::abs(dy) == std::abs(best_dy) && dy < best_dy)));
+    if (better) {
+      best_dy = dy;
+      best_votes = n;
+    }
+  }
+  // Require a quorum: at least one block-height worth of matching rows,
+  // otherwise coincidental matches on repetitive content inject noise.
+  return best_votes >= kDeltaBlockSize ? best_dy : 0;
+}
+
+struct Run {
+  uint8_t op;
+  int32_t first_block;  // block-column index of the first block in the run
+  int32_t blocks;
+  int16_t dx = 0;
+  int16_t dy = 0;
+};
+
+void FlushLiteralRun(const Run& run, std::span<const Pixel> cur, int32_t width,
+                     int32_t y, int32_t bh, std::vector<uint8_t>* out,
+                     DeltaStats* stats, double* cpu_cost) {
+  int32_t x = run.first_block * kDeltaBlockSize;
+  int32_t rw = std::min<int32_t>(run.blocks * kDeltaBlockSize,
+                                 width - x);
+  int64_t pixels = static_cast<int64_t>(rw) * bh;
+  std::vector<Pixel> rect;
+  rect.reserve(static_cast<size_t>(pixels));
+  for (int32_t row = 0; row < bh; ++row) {
+    const Pixel* src = cur.data() + static_cast<size_t>(y + row) * width + x;
+    rect.insert(rect.end(), src, src + rw);
+  }
+  if (stats != nullptr) {
+    stats->literal_blocks += run.blocks;
+    stats->literal_pixels += pixels;
+  }
+  size_t raw_bytes = rect.size() * sizeof(Pixel);
+  if (pixels >= kPngAttemptMinPixels) {
+    std::vector<uint8_t> png = PngLikeEncode(rect, rw, bh);
+    if (cpu_cost != nullptr) {
+      *cpu_cost += cpucost::kPngLikePerByte * static_cast<double>(raw_bytes);
+    }
+    if (png.size() + 4 < raw_bytes) {
+      out->push_back(kOpLiteralPng);
+      PutU16(out, static_cast<uint16_t>(run.blocks));
+      PutU32(out, static_cast<uint32_t>(png.size()));
+      out->insert(out->end(), png.begin(), png.end());
+      return;
+    }
+  }
+  out->push_back(kOpLiteralRaw);
+  PutU16(out, static_cast<uint16_t>(run.blocks));
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(rect.data());
+  out->insert(out->end(), bytes, bytes + raw_bytes);
+}
+
+void FlushRun(const Run& run, std::span<const Pixel> cur, int32_t width,
+              int32_t y, int32_t bh, std::vector<uint8_t>* out,
+              DeltaStats* stats, double* cpu_cost) {
+  switch (run.op) {
+    case kOpSkip:
+      out->push_back(kOpSkip);
+      PutU16(out, static_cast<uint16_t>(run.blocks));
+      if (stats != nullptr) {
+        stats->skip_blocks += run.blocks;
+      }
+      break;
+    case kOpCopy:
+      out->push_back(kOpCopy);
+      PutU16(out, static_cast<uint16_t>(run.blocks));
+      PutI16(out, run.dx);
+      PutI16(out, run.dy);
+      if (stats != nullptr) {
+        stats->copy_blocks += run.blocks;
+      }
+      break;
+    default:
+      FlushLiteralRun(run, cur, width, y, bh, out, stats, cpu_cost);
+      break;
+  }
+}
+
+// Shared walk over the op stream used by decode and validate. Invokes
+// `apply(op, cursor_before_body, x, y, rw, rh, dx, dy)` for each run with
+// the cursor positioned at the run body; apply must advance the cursor past
+// the body and return false to abort.
+template <typename Fn>
+bool WalkRuns(std::span<const uint8_t> in, int32_t width, int32_t height,
+              Fn&& apply) {
+  if (width <= 0 || height <= 0) {
+    return false;
+  }
+  ByteCursor cur{in};
+  if (!cur.Need(2) || cur.U8() != kDeltaVersion ||
+      cur.U8() != static_cast<uint8_t>(kDeltaBlockSize)) {
+    return false;
+  }
+  int32_t blocks_x = (width + kDeltaBlockSize - 1) / kDeltaBlockSize;
+  for (int32_t y = 0; y < height; y += kDeltaBlockSize) {
+    int32_t bh = std::min<int32_t>(kDeltaBlockSize, height - y);
+    int32_t bx = 0;
+    while (bx < blocks_x) {
+      if (!cur.Need(3)) {
+        return false;
+      }
+      uint8_t op = cur.U8();
+      int32_t run = cur.U16();
+      if (run <= 0 || bx + run > blocks_x) {
+        return false;
+      }
+      int32_t x = bx * kDeltaBlockSize;
+      int32_t rw = std::min<int32_t>(run * kDeltaBlockSize, width - x);
+      int16_t dx = 0;
+      int16_t dy = 0;
+      if (op == kOpCopy) {
+        if (!cur.Need(4)) {
+          return false;
+        }
+        dx = cur.I16();
+        dy = cur.I16();
+        if (x + dx < 0 || x + dx + rw > width || y + dy < 0 ||
+            y + dy + bh > height) {
+          return false;
+        }
+      } else if (op != kOpSkip && op != kOpLiteralRaw && op != kOpLiteralPng) {
+        return false;
+      }
+      if (!apply(op, cur, x, y, rw, bh, dx, dy)) {
+        return false;
+      }
+      bx += run;
+    }
+  }
+  return cur.pos == in.size();
+}
+
+}  // namespace
+
+std::vector<uint8_t> DeltaEncode(std::span<const Pixel> ref,
+                                 std::span<const Pixel> cur, int32_t width,
+                                 int32_t height, DeltaStats* stats,
+                                 double* cpu_cost) {
+  std::vector<uint8_t> out;
+  if (width <= 0 || height <= 0 ||
+      ref.size() < static_cast<size_t>(width) * height ||
+      cur.size() < static_cast<size_t>(width) * height) {
+    return out;
+  }
+  if (cpu_cost != nullptr) {
+    // One pass of block diffing + candidate checks over the whole rect.
+    *cpu_cost += cpucost::kDeltaDiffPerPixel *
+                 static_cast<double>(width) * height;
+  }
+  int32_t scroll_dy = DetectScrollDy(ref, cur, width, height);
+
+  out.push_back(kDeltaVersion);
+  out.push_back(static_cast<uint8_t>(kDeltaBlockSize));
+
+  int32_t blocks_x = (width + kDeltaBlockSize - 1) / kDeltaBlockSize;
+  for (int32_t y = 0; y < height; y += kDeltaBlockSize) {
+    int32_t bh = std::min<int32_t>(kDeltaBlockSize, height - y);
+    Run run{kOpSkip, 0, 0};
+    for (int32_t bx = 0; bx < blocks_x; ++bx) {
+      int32_t x = bx * kDeltaBlockSize;
+      int32_t bw = std::min<int32_t>(kDeltaBlockSize, width - x);
+
+      uint8_t op;
+      int16_t dx = 0;
+      int16_t dy = 0;
+      if (BlockMatches(ref.data(), cur.data(), width, x, y, bw, bh, 0, 0)) {
+        op = kOpSkip;
+      } else {
+        op = kOpLiteralRaw;  // provisional; run merge decides raw vs png
+        // Candidate motion vectors, checked in fixed order: detected
+        // scroll first, then one-block shifts in each direction.
+        const int32_t candidates[][2] = {
+            {0, scroll_dy},
+            {0, -kDeltaBlockSize},
+            {0, kDeltaBlockSize},
+            {-kDeltaBlockSize, 0},
+            {kDeltaBlockSize, 0},
+        };
+        for (const auto& cand : candidates) {
+          int32_t cdx = cand[0];
+          int32_t cdy = cand[1];
+          if (cdx == 0 && cdy == 0) {
+            continue;
+          }
+          if (x + cdx < 0 || x + cdx + bw > width || y + cdy < 0 ||
+              y + cdy + bh > height) {
+            continue;
+          }
+          if (BlockMatches(ref.data(), cur.data(), width, x, y, bw, bh, cdx,
+                           cdy)) {
+            op = kOpCopy;
+            dx = static_cast<int16_t>(cdx);
+            dy = static_cast<int16_t>(cdy);
+            break;
+          }
+        }
+      }
+
+      bool merges = run.blocks > 0 && run.op == op &&
+                    (op != kOpCopy || (run.dx == dx && run.dy == dy)) &&
+                    run.blocks < 0xFFFF;
+      if (merges) {
+        ++run.blocks;
+      } else {
+        if (run.blocks > 0) {
+          FlushRun(run, cur, width, y, bh, &out, stats, cpu_cost);
+        }
+        run = Run{op, bx, 1, dx, dy};
+      }
+    }
+    if (run.blocks > 0) {
+      FlushRun(run, cur, width, y, bh, &out, stats, cpu_cost);
+    }
+  }
+  return out;
+}
+
+bool DeltaDecode(std::span<const uint8_t> in, std::span<const Pixel> ref,
+                 int32_t width, int32_t height, std::vector<Pixel>* out) {
+  if (width <= 0 || height <= 0 ||
+      ref.size() < static_cast<size_t>(width) * height) {
+    return false;
+  }
+  out->assign(ref.begin(), ref.begin() + static_cast<size_t>(width) * height);
+  return WalkRuns(
+      in, width, height,
+      [&](uint8_t op, ByteCursor& cur, int32_t x, int32_t y, int32_t rw,
+          int32_t rh, int16_t dx, int16_t dy) {
+        switch (op) {
+          case kOpSkip:
+            return true;
+          case kOpCopy:
+            // Reads stage from `ref` (the unmodified reference), so copy
+            // runs never observe this payload's own writes.
+            for (int32_t row = 0; row < rh; ++row) {
+              const Pixel* src = ref.data() +
+                                 static_cast<size_t>(y + dy + row) * width +
+                                 x + dx;
+              Pixel* dst =
+                  out->data() + static_cast<size_t>(y + row) * width + x;
+              std::memcpy(dst, src, static_cast<size_t>(rw) * sizeof(Pixel));
+            }
+            return true;
+          case kOpLiteralRaw: {
+            size_t need = static_cast<size_t>(rw) * rh * sizeof(Pixel);
+            if (!cur.Need(need)) {
+              return false;
+            }
+            const Pixel* src =
+                reinterpret_cast<const Pixel*>(cur.data.data() + cur.pos);
+            for (int32_t row = 0; row < rh; ++row) {
+              Pixel* dst =
+                  out->data() + static_cast<size_t>(y + row) * width + x;
+              std::memcpy(dst, src + static_cast<size_t>(row) * rw,
+                          static_cast<size_t>(rw) * sizeof(Pixel));
+            }
+            cur.pos += need;
+            return true;
+          }
+          case kOpLiteralPng: {
+            if (!cur.Need(4)) {
+              return false;
+            }
+            uint32_t len = cur.U32();
+            if (!cur.Need(len)) {
+              return false;
+            }
+            std::vector<Pixel> rect;
+            if (!PngLikeDecode(cur.data.subspan(cur.pos, len), rw, rh,
+                               &rect)) {
+              return false;
+            }
+            cur.pos += len;
+            for (int32_t row = 0; row < rh; ++row) {
+              Pixel* dst =
+                  out->data() + static_cast<size_t>(y + row) * width + x;
+              std::memcpy(dst, rect.data() + static_cast<size_t>(row) * rw,
+                          static_cast<size_t>(rw) * sizeof(Pixel));
+            }
+            return true;
+          }
+          default:
+            return false;
+        }
+      });
+}
+
+bool DeltaValidate(std::span<const uint8_t> in, int32_t width,
+                   int32_t height) {
+  return WalkRuns(
+      in, width, height,
+      [&](uint8_t op, ByteCursor& cur, int32_t /*x*/, int32_t /*y*/,
+          int32_t rw, int32_t rh, int16_t /*dx*/, int16_t /*dy*/) {
+        switch (op) {
+          case kOpSkip:
+          case kOpCopy:
+            return true;
+          case kOpLiteralRaw: {
+            size_t need = static_cast<size_t>(rw) * rh * sizeof(Pixel);
+            if (!cur.Need(need)) {
+              return false;
+            }
+            cur.pos += need;
+            return true;
+          }
+          case kOpLiteralPng: {
+            if (!cur.Need(4)) {
+              return false;
+            }
+            uint32_t len = cur.U32();
+            if (!cur.Need(len)) {
+              return false;
+            }
+            std::vector<Pixel> rect;
+            if (!PngLikeDecode(cur.data.subspan(cur.pos, len), rw, rh,
+                               &rect)) {
+              return false;
+            }
+            cur.pos += len;
+            return true;
+          }
+          default:
+            return false;
+        }
+      });
+}
+
+}  // namespace thinc

@@ -1,0 +1,70 @@
+// Inter-frame (temporal) delta codec: encodes a pixel rect against a
+// reference copy of the same rect that the decoder is known to hold — the
+// previous delivered content of that screen area.
+//
+// The rect is tiled into 16x16 blocks, classified per block and run-length
+// merged per 16-row stripe:
+//   * SKIP     — block identical to the reference: zero payload bytes. This
+//                is where temporal coding wins over any intra codec: an
+//                unchanged block costs 3 bytes per *run*, not per pixel.
+//   * COPY     — block identical to the reference shifted by a motion
+//                vector (dx, dy): scroll and window-move content that the
+//                damage rect covers but the translation layer did not turn
+//                into a protocol COPY. Candidate vectors are a dominant
+//                vertical scroll offset detected by row-hash voting plus
+//                fixed one-block shifts; detection is fully deterministic.
+//   * LITERAL  — genuinely new pixels, stored raw or (when it wins)
+//                compressed with the intra PNG-like codec over the run's
+//                rectangle.
+//
+// The encoder never decides *whether* temporal coding is sound — the caller
+// owns reference validity (see DESIGN.md §15) and falls back to an intra
+// encode when the delta is larger or the reference is stale.
+#ifndef THINC_SRC_CODEC_DELTA_H_
+#define THINC_SRC_CODEC_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/pixel.h"
+
+namespace thinc {
+
+// Block geometry of the delta format (payload byte 1 repeats it so a
+// decoder can reject a format drift instead of misrendering).
+inline constexpr int32_t kDeltaBlockSize = 16;
+
+struct DeltaStats {
+  int64_t skip_blocks = 0;
+  int64_t copy_blocks = 0;
+  int64_t literal_blocks = 0;
+  int64_t literal_pixels = 0;
+};
+
+// Encodes `cur` (row-major, width*height pixels) against `ref` (same
+// geometry). Deterministic: same inputs produce identical bytes. When
+// `cpu_cost` is non-null it receives the reference-speed encode cost in
+// microseconds (diff + motion search + literal compression attempts).
+std::vector<uint8_t> DeltaEncode(std::span<const Pixel> ref,
+                                 std::span<const Pixel> cur, int32_t width,
+                                 int32_t height, DeltaStats* stats = nullptr,
+                                 double* cpu_cost = nullptr);
+
+// Decodes a delta payload against `ref` (row-major, width*height pixels),
+// producing the full reconstructed rect in `out`. Returns false on any
+// malformed input — truncated runs, bad ops, out-of-bounds motion vectors,
+// short literal data — without touching `out`'s validity contract (contents
+// are unspecified on failure).
+bool DeltaDecode(std::span<const uint8_t> in, std::span<const Pixel> ref,
+                 int32_t width, int32_t height, std::vector<Pixel>* out);
+
+// Structural validation without a reference frame: checks framing, run
+// coverage, motion-vector bounds, and literal payload integrity. A client
+// uses it at decode time so Apply (which has the reference framebuffer)
+// can assume a well-formed payload.
+bool DeltaValidate(std::span<const uint8_t> in, int32_t width, int32_t height);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_CODEC_DELTA_H_

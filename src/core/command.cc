@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/codec/delta.h"
 #include "src/codec/pnglike.h"
 #include "src/raster/fant.h"
 #include "src/util/cpu.h"
@@ -270,6 +271,70 @@ void RawCommand::Apply(Surface* fb) const {
   }
 }
 
+// --- DeltaCommand ------------------------------------------------------------
+
+DeltaCommand::DeltaCommand(const Rect& rect, PixelBuffer pixels,
+                           std::vector<uint8_t> payload, double encode_cost)
+    : rect_(rect), region_(rect), pixels_(std::move(pixels)),
+      payload_(std::move(payload)), encode_cost_(encode_cost) {
+  THINC_CHECK(static_cast<int64_t>(pixels_.size()) == rect.area());
+}
+
+DeltaCommand::DeltaCommand(const Rect& rect, std::vector<uint8_t> payload)
+    : rect_(rect), region_(rect), payload_(std::move(payload)) {}
+
+size_t DeltaCommand::EncodedSize() const {
+  return kFrameHeaderBytes + 16 + payload_.size();
+}
+
+ByteBuffer DeltaCommand::EncodeFrameInto(FrameArena* arena) const {
+  WireWriter w(MsgType::kRawDelta, arena);
+  w.Reserve(EncodedSize());
+  w.RectVal(rect_);
+  w.Bytes(payload_);
+  return w.Finish();
+}
+
+std::unique_ptr<Command> DeltaCommand::Clone() const {
+  auto clone = std::make_unique<DeltaCommand>(rect_, payload_);
+  clone->pixels_ = pixels_.Share();
+  clone->encode_cost_ = encode_cost_;
+  return clone;
+}
+
+void DeltaCommand::Translate(int32_t dx, int32_t dy) {
+  // The payload is rect-relative, so moving the whole rect is sound.
+  rect_ = rect_.Translated(dx, dy);
+  region_ = region_.Translated(dx, dy);
+}
+
+bool DeltaCommand::RestrictTo(const Region& keep) {
+  // A delta frame cannot be clipped without its reference; it is only ever
+  // kept whole (the flush path creates it after all clipping is done).
+  THINC_CHECK(keep.Intersect(region_) == region_);
+  return !region_.empty();
+}
+
+void DeltaCommand::Apply(Surface* fb) const {
+  if (pixels_.size() > 0) {
+    fb->PutPixels(rect_, pixels_.view());
+    return;
+  }
+  // Client side: the framebuffer's current content of rect() is the
+  // reference (in-order delivery guarantees it matches what the server
+  // diffed against). Snapshot it, decode, write back.
+  std::vector<Pixel> ref = fb->GetPixels(rect_);
+  std::vector<Pixel> out;
+  if (!DeltaDecode(payload_, ref, rect_.width, rect_.height, &out)) {
+    // Structural validity was checked at DecodeCommand time; a decode
+    // failure here means the payload and reference disagree — a protocol
+    // bug, not client input.
+    THINC_CHECK(false);
+    return;
+  }
+  fb->PutPixels(rect_, out);
+}
+
 // --- CopyCommand -------------------------------------------------------------
 
 CopyCommand::CopyCommand(const Region& dst_region, Point delta)
@@ -521,6 +586,22 @@ std::unique_ptr<Command> DecodeCommand(uint8_t type, std::span<const uint8_t> pa
       std::memcpy(px.data(), data.data(), data.size());
       tile.PutPixels(Rect{0, 0, tw, th}, px);
       return std::make_unique<PfillCommand>(region, std::move(tile), origin);
+    }
+    case MsgType::kRawDelta: {
+      Rect rect;
+      if (!r.RectVal(&rect) || rect.empty()) {
+        return nullptr;
+      }
+      std::vector<uint8_t> body;
+      if (!r.Bytes(r.remaining(), &body)) {
+        return nullptr;
+      }
+      // Structural validation now (framing, coverage, vector bounds,
+      // literal integrity); Apply() later decodes against the framebuffer.
+      if (!DeltaValidate(body, rect.width, rect.height)) {
+        return nullptr;
+      }
+      return std::make_unique<DeltaCommand>(rect, std::move(body));
     }
     case MsgType::kBitmap: {
       Region region;

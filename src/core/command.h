@@ -176,6 +176,10 @@ class RawCommand : public Command {
   // Reads the pixels of `r` (must be inside rect()) row-major.
   std::vector<Pixel> ExtractRect(const Rect& r) const;
 
+  // Shares the backing payload (CoW) — lets the adapt layer hand the same
+  // pixels to a DeltaCommand without copying.
+  PixelBuffer SharePayload() const { return pixels_.Share(); }
+
   // Overload-ladder fidelity downshift (server-side scaling, Section 7's
   // resample machinery turned into a degradation knob): replaces the payload
   // with a box-downscaled (by `factor`) then pixel-replicated version of
@@ -206,6 +210,56 @@ class RawCommand : public Command {
   mutable bool encoded_valid_ = false;
   mutable ByteBuffer encoded_frame_;
   mutable double encode_cost_ = 0;
+};
+
+// RAW_DELTA: temporal re-encode of a full-rect RAW update against the
+// previous delivered content of the same rect (src/codec/delta.h). Produced
+// at flush time by the adapt layer — never by the translation layer — so it
+// bypasses the scheduler's clip/merge machinery entirely: the payload covers
+// exactly rect() and cannot be re-clipped without the reference (RestrictTo
+// only accepts regions that keep the rect whole, SplitOff declines and the
+// frame streams progressively).
+//
+// Two construction sites:
+//   * server side — carries the reconstructed pixels alongside the encoded
+//     payload, so Apply() (used to advance the server's reference surface)
+//     is an exact, cheap overwrite;
+//   * client side (DecodeCommand) — payload only; Apply() snapshots the
+//     destination rect from the framebuffer (which holds the reference by
+//     the in-order delivery invariant), decodes against it, and writes the
+//     result back. Like CopyCommand::Apply, all reads stage before writes.
+class DeltaCommand : public Command {
+ public:
+  // Server side. `pixels` is the full content of `rect` (row-major),
+  // `payload` the delta codec bytes, `encode_cost` the reference-speed CPU
+  // of producing this frame (including the intra attempt it replaced).
+  DeltaCommand(const Rect& rect, PixelBuffer pixels,
+               std::vector<uint8_t> payload, double encode_cost);
+  // Client side: payload only, already structurally validated.
+  DeltaCommand(const Rect& rect, std::vector<uint8_t> payload);
+
+  MsgType type() const override { return MsgType::kRawDelta; }
+  OverlapClass overlap() const override { return OverlapClass::kTransparent; }
+  const Region& region() const override { return region_; }
+  size_t EncodedSize() const override;
+  double EncodeCpuCost() const override { return encode_cost_; }
+  std::unique_ptr<Command> Clone() const override;
+  void Translate(int32_t dx, int32_t dy) override;
+  bool RestrictTo(const Region& keep) override;
+  void Apply(Surface* fb) const override;
+
+  const Rect& rect() const { return rect_; }
+  std::span<const uint8_t> payload() const { return payload_; }
+
+ protected:
+  ByteBuffer EncodeFrameInto(FrameArena* arena) const override;
+
+ private:
+  Rect rect_;
+  Region region_;
+  PixelBuffer pixels_;  // server side only; empty on the client
+  std::vector<uint8_t> payload_;
+  double encode_cost_ = 0;
 };
 
 // COPY: client-side framebuffer copy. Stores the destination region plus the

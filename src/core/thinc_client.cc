@@ -175,6 +175,7 @@ void ThincClient::OnReceive(std::span<const uint8_t> data) {
 void ThincClient::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
   switch (static_cast<MsgType>(type)) {
     case MsgType::kRaw:
+    case MsgType::kRawDelta:
     case MsgType::kCopy:
     case MsgType::kSfill:
     case MsgType::kPfill:

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/codec/delta.h"
 #include "src/raster/fant.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/buffer.h"
@@ -27,21 +28,23 @@ constexpr double kTranslateCost = 1.0;
 // the host has cores).
 constexpr double kEncodeSliceCostUs = 500.0;
 
-// Overload degradation ladder (levels 0-3; see SetDegradationLevel).
-constexpr int kMaxDegradationLevel = 3;
-constexpr int kFlushStretch[kMaxDegradationLevel + 1] = {1, 4, 8, 16};
-constexpr int kVideoDecimation[kMaxDegradationLevel + 1] = {1, 2, 4, 8};
+// Overload degradation ladder (levels 0-4; see SetDegradationLevel). Level
+// 2 is the codec rung: batching and socket budgets hold at their level-1
+// settings while the adapt layer's CodecSelector forces temporal coding, so
+// wire bytes shrink a rung before fidelity does.
+constexpr int kFlushStretch[kMaxDegradationLevel + 1] = {1, 4, 4, 8, 16};
+constexpr int kVideoDecimation[kMaxDegradationLevel + 1] = {1, 2, 2, 4, 8};
 // RAW payload subsample factor (server-side fidelity downshift): quarter
-// resolution content at level 2, sixteenth at level 3, in unchanged
+// resolution content at level 3, sixteenth at level 4, in unchanged
 // geometry — roughly factor^2 fewer wire bytes after compression.
-constexpr int32_t kFidelitySubsample[kMaxDegradationLevel + 1] = {1, 1, 2, 4};
+constexpr int32_t kFidelitySubsample[kMaxDegradationLevel + 1] = {1, 1, 1, 2, 4};
 // In-socket backlog budget: bytes already committed to the socket FIFO can
 // no longer be overwritten by fresher content, so past level 0 the flush
 // stops feeding the socket once this much is queued there. Updates wait in
 // the scheduler (and video frames in the media queue) where THINC's
 // overwrite semantics shed staleness instead of serializing it.
 constexpr size_t kSocketBacklogBudget[kMaxDegradationLevel + 1] = {
-    SIZE_MAX, 64u << 10, 16u << 10, 4u << 10};
+    SIZE_MAX, 64u << 10, 64u << 10, 16u << 10, 4u << 10};
 // SRSF starvation limit armed at level >= 1: a large update older than this
 // flushes ahead of the small-update churn that heavier batching produces.
 constexpr SimTime kDegradedStarvationLimit = 300 * kMillisecond;
@@ -51,7 +54,11 @@ constexpr SimTime kDegradedStarvationLimit = 300 * kMillisecond;
 ThincServer::ThincServer(EventLoop* loop, Transport* conn, CpuAccount* cpu,
                          ThincServerOptions options)
     : loop_(loop), conn_(conn), cpu_(cpu), options_(options),
-      scheduler_(options.scheduler) {
+      scheduler_(options.scheduler),
+      codec_selector_(options.adapt, &net_estimator_) {
+  if (options_.initial_degradation_level > 0) {
+    SetDegradationLevel(options_.initial_degradation_level);
+  }
   if (options_.encrypt) {
     tx_cipher_.emplace(kTransportKey);
     rx_cipher_.emplace(kTransportKey);
@@ -70,6 +77,12 @@ ThincServer::ThincServer(EventLoop* loop, Transport* conn, CpuAccount* cpu,
 }
 
 void ThincServer::BindConnection() {
+  if (options_.adapt.enabled) {
+    // The estimator observes the new transport from byte one; whatever it
+    // learned about a previous link is stale.
+    net_estimator_.Invalidate();
+    conn_->SetObserver(&net_estimator_);
+  }
   conn_->SetReceiver(Transport::kServer,
                      [this](std::span<const uint8_t> data) { OnReceive(data); });
   conn_->SetWritable(Transport::kServer, [this] { ScheduleFlush(0); });
@@ -99,6 +112,14 @@ void ThincServer::OnConnectionClosed() {
   update_requested_ = false;
   audio_queue_.clear();
   video_queue_.clear();
+  // A Reset drops committed-but-undelivered bytes, so commit order no
+  // longer proves what the client holds: the temporal reference is void
+  // (and so is the black-framebuffer arming shortcut — the next client
+  // arrives with whatever it last rendered).
+  pending_ref_cmd_.reset();
+  InvalidateReference();
+  ref_lazy_arm_ok_ = false;
+  net_estimator_.Invalidate();
 }
 
 void ThincServer::Attach(Transport* conn) {
@@ -169,8 +190,20 @@ void ThincServer::SetDegradationLevel(int level) {
   if (level == degradation_level_) {
     return;
   }
+  const int32_t old_subsample = kFidelitySubsample[degradation_level_];
   degradation_level_ = level;
   scheduler_.set_starvation_limit(level >= 1 ? kDegradedStarvationLimit : 0);
+  if (ref_armed_ && kFidelitySubsample[level] != old_subsample) {
+    // The client's framebuffer now mixes fidelities the reference can't
+    // model (prior commits at the old factor, future ones at the new); mark
+    // everything stale so deltas re-arm region by region as full-fidelity
+    // content lands. Counted as an invalidation — the reference survives but
+    // is wholly unusable until rebuilt.
+    static Counter* invalidations =
+        MetricsRegistry::Get().GetCounter("codec.reference_invalidations");
+    invalidations->Inc();
+    ref_dirty_ = Region(ref_screen_.bounds());
+  }
   Telemetry& telemetry = Telemetry::Get();
   telemetry.Record("core.degrade_level", loop_->now(), level);
   if (telemetry_pid_ != 0) {
@@ -549,6 +582,12 @@ void ThincServer::EnqueueVideoFrame(int32_t stream_id, ByteBuffer wire_frame) {
 void ThincServer::OnVideoStreamMove(int32_t stream_id, const Rect& dst) {
   auto it = streams_.find(stream_id);
   THINC_CHECK(it != streams_.end());
+  if (ref_armed_ && !viewport_.has_value()) {
+    // The vacated rect holds overlay video on the client but untracked
+    // content in the reference; the display updates that repaint it must
+    // go intra until they land.
+    ref_dirty_ = ref_dirty_.Union(it->second.dst);
+  }
   it->second.dst = dst;
   if (!connected_) {
     return;  // Attach() re-announces the stream at its latest geometry
@@ -564,6 +603,12 @@ void ThincServer::OnVideoStreamMove(int32_t stream_id, const Rect& dst) {
 }
 
 void ThincServer::OnVideoStreamDestroy(int32_t stream_id) {
+  if (ref_armed_ && !viewport_.has_value()) {
+    auto it = streams_.find(stream_id);
+    if (it != streams_.end()) {
+      ref_dirty_ = ref_dirty_.Union(it->second.dst);  // as in OnVideoStreamMove
+    }
+  }
   streams_.erase(stream_id);
   video_queue_.erase(std::remove_if(video_queue_.begin(), video_queue_.end(),
                                     [stream_id](const MediaItem& m) {
@@ -692,11 +737,22 @@ void ThincServer::Flush() {
       }
       pending_frame_ = ByteBuffer();
       pending_cursor_ = 0;
+      if (pending_ref_cmd_ != nullptr) {
+        // The display command behind this frame is now fully committed: the
+        // client will apply it in this exact order.
+        ApplyToReference(*pending_ref_cmd_);
+        pending_ref_cmd_.reset();
+      }
       continue;
     }
     // 2. A popped display command in progress.
     if (pending_ != nullptr) {
       if (!pending_prepared_) {
+        // Adapt layer: a full-rect RAW update with a clean reference may
+        // re-encode as a temporal delta (swaps pending_ for a DeltaCommand).
+        // Runs before the shared-frame cache on purpose: deltas are keyed to
+        // one viewer's reference and must never be shared.
+        MaybeDeltaEncode();
         // Session sharing: if another viewer's server already encoded this
         // exact frame (same content, same geometry), reuse the bytes and
         // skip the encode CPU charge; if that encode is still in flight,
@@ -721,6 +777,9 @@ void ThincServer::Flush() {
             pending_trace_id_ = pending_->trace_id();
             Telemetry::Get().StampEncode(pending_trace_id_, now, now,
                                          /*cache_hit=*/true);
+            if (options_.adapt.enabled) {
+              pending_ref_cmd_ = std::move(pending_);
+            }
             pending_.reset();
             continue;
           }
@@ -763,6 +822,9 @@ void ThincServer::Flush() {
           pending_trace_id_ = pending_->trace_id();
           Telemetry::Get().StampEncode(pending_trace_id_, now, now,
                                        /*cache_hit=*/true);
+          if (options_.adapt.enabled) {
+            pending_ref_cmd_ = std::move(pending_);
+          }
           pending_.reset();
           pending_prepared_ = false;
           continue;
@@ -810,6 +872,7 @@ void ThincServer::Flush() {
           telemetry.NoteFrameCommitted(pending_->trace_id(), now);
           telemetry.PushWireTrace(conn_, pending_->trace_id());
         }
+        ApplyToReference(*pending_);
         pending_.reset();
         pending_prepared_ = false;
         continue;
@@ -821,6 +884,9 @@ void ThincServer::Flush() {
         pending_frame_ = part->EncodeFrame(&arena_);
         pending_cursor_ = 0;
         pending_trace_id_ = part->trace_id();
+        if (options_.adapt.enabled) {
+          pending_ref_cmd_ = std::move(part);
+        }
         scheduler_.Reinsert(std::move(pending_));
         pending_prepared_ = false;
         continue;
@@ -829,6 +895,9 @@ void ThincServer::Flush() {
       pending_frame_ = std::move(frame);
       pending_cursor_ = 0;
       pending_trace_id_ = pending_->trace_id();
+      if (options_.adapt.enabled) {
+        pending_ref_cmd_ = std::move(pending_);
+      }
       pending_.reset();
       pending_prepared_ = false;
       continue;
@@ -942,6 +1011,22 @@ void ThincServer::HandleFrame(uint8_t type, std::span<const uint8_t> payload) {
         }
         viewport_ = vp;
       }
+      if (options_.adapt.enabled) {
+        // Renegotiation is the only point where the server can key a fresh
+        // temporal reference to provable client content: outside the unacked
+        // region the client framebuffer equals the server screen, and the
+        // resync refresh queued below repaints the rest (clearing its
+        // dirtiness command by command as it commits). Under a scaled
+        // viewport there is no delta coding — the wire carries resampled
+        // pixels the reference surface doesn't model.
+        ref_lazy_arm_ok_ = false;  // the client is past its virgin black fb
+        if (!viewport_.has_value()) {
+          ArmReference(screen,
+                       resync_armed_ ? unacked_region_ : Region(screen.bounds()));
+        } else {
+          InvalidateReference();
+        }
+      }
       // The renegotiation that follows an Attach() triggers the resync: the
       // region-only refresh when a migration armed one, the full screen
       // otherwise (mid-session viewport changes always take the full path —
@@ -1021,6 +1106,134 @@ size_t ThincServer::MigrationStateBytes() {
     return kMigrationDescriptorBytes + FramebufferBytes();
   }
   return kMigrationDescriptorBytes + dirty;
+}
+
+// --- Temporal reference (adapt layer) ----------------------------------------
+
+void ThincServer::ArmReference(Surface base, Region dirty) {
+  ref_screen_ = std::move(base);
+  ref_dirty_ = std::move(dirty);
+  ref_armed_ = true;
+}
+
+void ThincServer::InvalidateReference() {
+  if (ref_armed_) {
+    static Counter* invalidations =
+        MetricsRegistry::Get().GetCounter("codec.reference_invalidations");
+    invalidations->Inc();
+  }
+  ref_armed_ = false;
+  ref_screen_ = Surface();
+  ref_dirty_ = Region();
+}
+
+void ThincServer::ApplyToReference(const Command& cmd) {
+  if (!options_.adapt.enabled) {
+    return;
+  }
+  if (!ref_armed_) {
+    // A virgin session's client framebuffer is known: solid black, from its
+    // constructor. The first committed command arms the reference against
+    // that — no renegotiation needed. Forfeited the moment the client could
+    // hold anything else (reconnect, migration, viewport scaling).
+    if (!ref_lazy_arm_ok_ || viewport_.has_value() || window_server_ == nullptr) {
+      return;
+    }
+    const Surface& screen = window_server_->screen();
+    ArmReference(Surface(screen.width(), screen.height(), kBlack), Region());
+  }
+  // Commands that read the client framebuffer (COPY; transparent BITMAP
+  // blends over it) propagate staleness from their source into their
+  // destination; pure overwrites scrub it. The server-side DeltaCommand
+  // carries its reconstructed pixels, so it counts as an overwrite here
+  // even though its wire form is reference-dependent.
+  bool reads_stale = false;
+  switch (cmd.type()) {
+    case MsgType::kCopy: {
+      const auto& copy = static_cast<const CopyCommand&>(cmd);
+      reads_stale = !copy.SourceRegion().Intersect(ref_dirty_).empty();
+      break;
+    }
+    case MsgType::kBitmap:
+      reads_stale = cmd.overlap() == OverlapClass::kTransparent &&
+                    !cmd.region().Intersect(ref_dirty_).empty();
+      break;
+    default:
+      break;
+  }
+  cmd.Apply(&ref_screen_);
+  if (reads_stale) {
+    ref_dirty_ = ref_dirty_.Union(cmd.region());
+  } else {
+    ref_dirty_ = ref_dirty_.Subtract(cmd.region());
+  }
+}
+
+void ThincServer::MaybeDeltaEncode() {
+  if (!options_.adapt.enabled || !ref_armed_ || viewport_.has_value() ||
+      pending_ == nullptr || pending_->type() != MsgType::kRaw) {
+    return;
+  }
+  auto* raw = static_cast<RawCommand*>(pending_.get());
+  const Rect rect = raw->rect();
+  // Only full-rect RAWs qualify: a clipped region would need the delta
+  // payload re-clipped, which the wire format cannot express.
+  if (raw->region() != Region(rect)) {
+    return;
+  }
+  const CodecChoice choice =
+      codec_selector_.Choose(rect.area(), degradation_level_);
+  if (choice == CodecChoice::kIntra) {
+    return;
+  }
+  // Reference must be exact under the whole rect, and the rect must not
+  // overlap a live video overlay (client pixels there are video frames the
+  // reference never saw).
+  if (rect.Intersect(ref_screen_.bounds()) != rect ||
+      !ref_dirty_.Intersect(rect).empty()) {
+    return;
+  }
+  for (const auto& [id, st] : streams_) {
+    if (!Region(st.dst).Intersect(rect).empty()) {
+      return;
+    }
+  }
+  static Counter* delta_hits = MetricsRegistry::Get().GetCounter("codec.delta_hits");
+  static Counter* delta_fallbacks =
+      MetricsRegistry::Get().GetCounter("codec.delta_fallbacks");
+  static Counter* bytes_saved =
+      MetricsRegistry::Get().GetCounter("codec.delta_bytes_saved");
+  if (choice == CodecChoice::kDeltaSubsample) {
+    // Starved link: drop fidelity before diffing, same knob as the ladder's
+    // subsample rung (idempotent with it — SubsampleFidelity applies once).
+    if (raw->SubsampleFidelity(2)) {
+      cpu_->Charge(static_cast<double>(rect.area()) * cpucost::kResamplePerPixel);
+    }
+  }
+  const std::vector<Pixel> ref_slice = ref_screen_.GetPixels(rect);
+  DeltaStats stats;
+  double delta_cost = 0;
+  std::vector<uint8_t> payload = DeltaEncode(ref_slice, raw->PixelData(),
+                                             rect.width, rect.height, &stats,
+                                             &delta_cost);
+  // Honest comparison against the intra frame this would replace. The intra
+  // encode work is genuinely done (EncodedSize() encodes and caches), so the
+  // delta path's CPU cost is intra + diff — the bet only pays in bytes.
+  const size_t intra_bytes = raw->EncodedSize();
+  const size_t delta_bytes = kFrameHeaderBytes + 16 + payload.size();
+  if (delta_bytes >= intra_bytes) {
+    delta_fallbacks->Inc();
+    return;
+  }
+  delta_hits->Inc();
+  bytes_saved->Inc(static_cast<int64_t>(intra_bytes - delta_bytes));
+  auto delta = std::make_unique<DeltaCommand>(
+      rect, raw->SharePayload(), std::move(payload),
+      raw->EncodeCpuCost() + delta_cost);
+  delta->set_trace_id(raw->trace_id());
+  delta->set_schedule_seq(raw->schedule_seq());
+  delta->set_queued_at(raw->queued_at());
+  pending_ = std::move(delta);
 }
 
 void ThincServer::ArmDifferentialResync() {

@@ -34,6 +34,8 @@
 #include <optional>
 #include <string>
 
+#include "src/adapt/codec_selector.h"
+#include "src/adapt/net_estimator.h"
 #include "src/codec/rc4.h"
 #include "src/core/command.h"
 #include "src/core/command_queue.h"
@@ -46,6 +48,9 @@
 #include "src/util/event_loop.h"
 
 namespace thinc {
+
+// Highest overload-degradation ladder level (see SetDegradationLevel).
+inline constexpr int kMaxDegradationLevel = 4;
 
 struct ThincServerOptions {
   // Ablation knobs.
@@ -75,6 +80,14 @@ struct ThincServerOptions {
   // a full framebuffer snapshot. Values below 1.0 are clamped to 1.0 at use
   // (the collapse snapshot itself must fit under the cap).
   double backlog_cap_framebuffers = 2.0;
+  // Adaptive codec layer (src/adapt): per-connection bandwidth/RTT
+  // estimation plus intra/delta/delta+subsample selection, with the
+  // temporal reference kept in per-connection server state (DESIGN.md §15).
+  // Off by default: the wire is byte-identical to the pre-adaptive stack.
+  AdaptOptions adapt;
+  // Degradation-ladder level the server starts at (bench knob for holding a
+  // session at one rung; the fleet controller moves it afterwards as usual).
+  int initial_degradation_level = 0;
   // Chrome-trace host name registered for this server's pid. A fleet host
   // names each session distinctly ("fleet-session-3") so traces separate.
   std::string telemetry_host = "thinc-server";
@@ -181,16 +194,21 @@ class ThincServer : public DisplayDriver {
   void RebindCpu(CpuAccount* cpu) { cpu_ = cpu; }
 
   // --- Overload degradation (fleet) ------------------------------------------
-  // Degradation ladder level 0 (full fidelity) .. 3 (survival), set by a
-  // host-level controller under CPU/NIC pressure. Each level reuses a paper
-  // mechanism rather than inventing a new one:
-  //   * flush aggregation window stretches (x1/x4/x8/x16) — more batching,
-  //     more client-buffer overwrite eviction, fewer flush wakeups;
+  // Degradation ladder level 0 (full fidelity) .. kMaxDegradationLevel
+  // (survival), set by a host-level controller under CPU/NIC pressure. Each
+  // level reuses a paper (or adapt-layer) mechanism rather than inventing a
+  // new one:
+  //   * flush aggregation window stretches (x1/x4/x4/x8/x16) — more
+  //     batching, more client-buffer overwrite eviction, fewer wakeups;
   //   * the scheduler-backlog cap tightens from 2x to 1x framebuffer at
   //     level >= 1, collapsing deep backlogs into one snapshot sooner (the
   //     cap never drops below 1x: the snapshot itself must fit under it);
-  //   * video frames are decimated server-side (keep 1-in-1/1/2/4), the
+  //   * level 2 is the codec rung: with the adapt layer enabled, the
+  //     CodecSelector forces at-least-delta coding from here regardless of
+  //     the bandwidth estimate — bytes shrink before fidelity does;
+  //   * video frames are decimated server-side (keep 1-in-1/2/2/4/8), the
   //     same server-side drop policy as outdated frames;
+  //   * fidelity subsampling engages at level >= 3 (x2, then x4);
   //   * the SRSF starvation limit arms at level >= 1 so large updates are
   //     not starved indefinitely behind the now-heavier small-update churn.
   void SetDegradationLevel(int level);
@@ -264,6 +282,21 @@ class ThincServer : public DisplayDriver {
   // Queues RAW updates of `region` read from the reference screen (the
   // armed differential resync; full-screen region == SendFullRefresh).
   void SendPartialRefresh(const Region& region);
+
+  // --- Adaptive codec (reference-frame machinery, DESIGN.md §15) ------------
+  // Arms the temporal reference: `base` becomes the delivered-content
+  // snapshot and `dirty` the region where it is not yet trustworthy.
+  void ArmReference(Surface base, Region dirty);
+  // Drops the reference (reconnect, rebind, viewport scaling): every
+  // subsequent update goes intra until a resync re-arms it.
+  void InvalidateReference();
+  // Folds a display command the client has provably received (its frame
+  // fully committed to the in-order transport) into the reference surface.
+  void ApplyToReference(const Command& cmd);
+  // At flush-prepare time: if the selector picks a temporal codec and the
+  // reference covers pending_'s rect, re-encodes pending_ as a DeltaCommand
+  // (falling back to intra when the delta is not smaller).
+  void MaybeDeltaEncode();
 
   // Books the CPU time for encoding `pending_` and returns its completion
   // time. RAW encodes above kEncodeSliceCostUs split into per-band slices
@@ -350,6 +383,23 @@ class ThincServer : public DisplayDriver {
   int64_t video_frames_dropped_ = 0;
   int64_t video_frames_decimated_ = 0;
   int degradation_level_ = 0;
+
+  // Adaptive codec state (all inert unless options_.adapt.enabled).
+  // `ref_screen_` mirrors, command by committed command, the framebuffer
+  // content the client provably holds; `ref_dirty_` is where that mirror is
+  // stale (divergent history, live video, pre-resync content) and deltas
+  // are forbidden. `pending_ref_cmd_` is the display command whose bytes
+  // are draining through pending_frame_ — folded into the reference when
+  // the frame's last byte is committed.
+  NetEstimator net_estimator_;
+  CodecSelector codec_selector_{AdaptOptions{}, nullptr};
+  Surface ref_screen_;
+  Region ref_dirty_;
+  bool ref_armed_ = false;
+  // A never-reattached session may arm lazily against the client's known
+  // initial (black) framebuffer; any reconnect forfeits that shortcut.
+  bool ref_lazy_arm_ok_ = true;
+  std::unique_ptr<Command> pending_ref_cmd_;
 };
 
 }  // namespace thinc

@@ -378,7 +378,7 @@ void FleetHost::ControllerTick(SimTime until) {
         if (++s->over_ticks >= options_.ticks_to_degrade) {
           s->over_ticks = 0;
           const int level = s->server->degradation_level();
-          if (level < 3) {
+          if (level < kMaxDegradationLevel) {
             s->server->SetDegradationLevel(level + 1);
             downs->Inc();
           }

@@ -88,6 +88,9 @@ void Connection::SetLinkParams(int64_t bandwidth_bps, SimTime rtt) {
                    params_.rtt);
   telemetry.InstantArg(0, 1, "link degrade", loop_->now(), "bandwidth_bps",
                        params_.bandwidth_bps);
+  if (observer() != nullptr) {
+    observer()->OnLinkChange();
+  }
 }
 
 void Connection::OnThaw() {
@@ -194,13 +197,19 @@ void Connection::Pump(int from) {
         Deliver(from, payload);
       });
     });
-    loop_->ScheduleAt(ack, [this, from, epoch, seg_len] {
-      RunOrFreeze(epoch, [this, from, seg_len] {
+    // The round trip this ack will have measured; captured at send time so
+    // a mid-flight SetLinkParams cannot retroactively relabel the sample.
+    const SimTime sample_rtt = params_.rtt;
+    loop_->ScheduleAt(ack, [this, from, epoch, seg_len, sample_rtt] {
+      RunOrFreeze(epoch, [this, from, seg_len, sample_rtt] {
         Direction& dir = dirs_[from];
         THINC_CHECK(!dir.inflight.empty());
         THINC_CHECK(dir.inflight.front().second == seg_len);
         dir.inflight_bytes -= dir.inflight.front().second;
         dir.inflight.pop_front();
+        if (observer() != nullptr) {
+          observer()->OnRttSample(from, sample_rtt);
+        }
         if (!dir.send_buffer.empty() && !dir.pump_scheduled) {
           SchedulePump(from, loop_->now());
         }

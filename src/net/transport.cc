@@ -153,6 +153,9 @@ void Transport::NotifyWritable(int from) {
 
 void Transport::Deliver(int from, const ByteBuffer& payload) {
   ledgers_[from].Record(loop_->now(), payload.view());
+  if (observer_ != nullptr) {
+    observer_->OnDelivery(from, loop_->now(), payload.size());
+  }
   static Counter* delivered =
       MetricsRegistry::Get().GetCounter("net.delivered_bytes");
   static Counter* segments = MetricsRegistry::Get().GetCounter("net.segments");

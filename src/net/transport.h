@@ -84,6 +84,23 @@ class DeliveryLedger {
   SimTime last_delivery_ = 0;          // since last ResetPhase()
 };
 
+// Passive observer of transport-level events, the measurement feed for
+// bandwidth/RTT estimation (src/adapt/net_estimator.h). At most one per
+// transport. Observation must never change transport behavior: observers
+// read, they do not steer — the determinism fingerprint depends on it.
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+  // A segment sent from `from` finished delivery at `now`.
+  virtual void OnDelivery(int from, SimTime now, size_t bytes) = 0;
+  // Endpoint `from` learned a full round-trip sample (wire acks only; the
+  // loopback never reports one — there is no round trip to measure).
+  virtual void OnRttSample(int from, SimTime rtt) = 0;
+  // Link characteristics changed (fault injection, migration rebind):
+  // estimates derived from the old parameters are stale.
+  virtual void OnLinkChange() = 0;
+};
+
 class Transport {
  public:
   // Endpoint 0 is conventionally the server, endpoint 1 the client.
@@ -123,6 +140,9 @@ class Transport {
   void SetWritable(int endpoint, WritableFn fn);
   // Invoked (once, at `endpoint`) when the transport is hard-reset.
   void SetClosed(int endpoint, ClosedFn fn);
+  // Installs (or clears, with nullptr) the transport's passive observer.
+  // The observer must outlive the transport or be cleared first.
+  void SetObserver(TransportObserver* observer) { observer_ = observer; }
 
   EventLoop* loop() const { return loop_; }
 
@@ -186,6 +206,10 @@ class Transport {
   // buffer space was freed).
   void NotifyWritable(int from);
 
+  // For implementation-specific observer feeds (ack RTT samples, link
+  // parameter changes). Deliveries are reported by the base's Deliver().
+  TransportObserver* observer() const { return observer_; }
+
   // Hook: the outage ended and the frozen events have been rescheduled (at
   // the current instant, in original order). Implementations restart
   // whatever forward progress the outage stalled (wire pumps, queued
@@ -206,6 +230,7 @@ class Transport {
   std::vector<std::function<void()>> frozen_;
 
  private:
+  TransportObserver* observer_ = nullptr;
   DeliveryLedger ledgers_[2];            // indexed by sending endpoint
   ReceiveFn receive_fns_[2];             // indexed by sending endpoint
   ReceiveBufferFn receive_buffer_fns_[2];  // indexed by sending endpoint

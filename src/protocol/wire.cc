@@ -32,6 +32,8 @@ const char* MsgTypeName(MsgType type) {
       return "RESIZE_VIEWPORT";
     case MsgType::kInput:
       return "INPUT";
+    case MsgType::kRawDelta:
+      return "RAW_DELTA";
     case MsgType::kUpdateRequest:
       return "UPDATE_REQUEST";
   }

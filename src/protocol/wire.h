@@ -40,6 +40,10 @@ enum class MsgType : uint8_t {
   kResizeViewport = 11,  // client -> server
   kInput = 12,           // client -> server
   kUpdateRequest = 13,   // client -> server (client-pull mode only)
+  // Temporal extension of RAW: pixels delta-encoded against the previous
+  // delivered content of the same rect (src/codec/delta.h). Not in the
+  // paper's Table 1; negotiated per connection by the adapt layer.
+  kRawDelta = 14,
 };
 
 constexpr size_t kFrameHeaderBytes = 5;  // u8 type + u32 length

@@ -189,6 +189,7 @@ inline constexpr double kResamplePerPixel = 0.015;   // Fant resample (server)
 inline constexpr double kClientResamplePerPixel = 0.08;  // naive client resize
 inline constexpr double kPixelAnalysisPerPixel = 0.02;   // Sun Ray inference
 inline constexpr double kColorConvertPerPixel = 0.015;   // sw YUV->RGB
+inline constexpr double kDeltaDiffPerPixel = 0.02;       // temporal block diff
 
 }  // namespace cpucost
 

@@ -464,5 +464,96 @@ INSTANTIATE_TEST_SUITE_P(
                       CodecCase{5, 100, 1}, CodecCase{6, 31, 47},
                       CodecCase{7, 128, 3}, CodecCase{8, 5, 5}));
 
+// --- Structured-tile property sweep -----------------------------------------
+
+// Deterministic generators for the content classes thin-client traffic is
+// made of; every intra codec must round-trip each of them bit-exactly
+// (palette, the one lossy stage, is bounded instead).
+enum class TileKind { kText, kGradient, kScroll, kNoise };
+
+struct StructuredCase {
+  TileKind kind;
+  uint64_t seed;
+  int32_t width;
+  int32_t height;
+};
+
+std::vector<Pixel> MakeTile(const StructuredCase& c) {
+  Prng rng(c.seed);
+  std::vector<Pixel> px(static_cast<size_t>(c.width) * c.height);
+  for (int32_t y = 0; y < c.height; ++y) {
+    for (int32_t x = 0; x < c.width; ++x) {
+      Pixel p = kBlack;
+      switch (c.kind) {
+        case TileKind::kText:
+          // Dark glyph speckle over a paper-white page.
+          p = (x * 7 + y * 13 + static_cast<int32_t>(c.seed)) % 11 == 0
+                  ? kBlack
+                  : MakePixel(248, 248, 244);
+          break;
+        case TileKind::kGradient:
+          p = MakePixel(static_cast<uint8_t>(x * 255 / std::max(1, c.width - 1)),
+                        static_cast<uint8_t>(y * 255 / std::max(1, c.height - 1)),
+                        static_cast<uint8_t>((x + y) & 0xFF));
+          break;
+        case TileKind::kScroll:
+          // Horizontal line pattern shifted by the seed — what a scrolled
+          // terminal repaint looks like to a stateless encoder.
+          p = ((y + static_cast<int32_t>(c.seed) * 3) % 9 < 2)
+                  ? MakePixel(30, 30, 60)
+                  : MakePixel(235, 235, 235);
+          break;
+        case TileKind::kNoise:
+          p = static_cast<Pixel>(rng.Next());
+          break;
+      }
+      px[static_cast<size_t>(y) * c.width + x] = p;
+    }
+  }
+  return px;
+}
+
+class StructuredCodecRoundTrip
+    : public ::testing::TestWithParam<StructuredCase> {};
+
+TEST_P(StructuredCodecRoundTrip, AllIntraCodecsRoundTrip) {
+  const StructuredCase& c = GetParam();
+  std::vector<Pixel> in = MakeTile(c);
+  std::vector<Pixel> dec;
+  ASSERT_TRUE(
+      PngLikeDecode(PngLikeEncode(in, c.width, c.height), c.width, c.height, &dec));
+  EXPECT_EQ(dec, in);
+  ASSERT_TRUE(
+      HextileDecode(HextileEncode(in, c.width, c.height), c.width, c.height, &dec));
+  EXPECT_EQ(dec, in);
+  ASSERT_TRUE(Rle32Decode(Rle32Encode(in), &dec));
+  EXPECT_EQ(dec, in);
+  std::vector<uint8_t> bytes(in.size() * 4);
+  std::memcpy(bytes.data(), in.data(), bytes.size());
+  std::vector<uint8_t> bdec;
+  ASSERT_TRUE(LzssDecode(LzssEncode(bytes), &bdec));
+  EXPECT_EQ(bdec, bytes);
+  ASSERT_TRUE(RleDecode(RleEncode(bytes), &bdec));
+  EXPECT_EQ(bdec, bytes);
+  // Palette is quantizing: bounded per-channel error, and idempotent once
+  // on the 3-3-2 lattice.
+  std::vector<Pixel> approx = PaletteExpand(PaletteQuantize(in));
+  ASSERT_EQ(approx.size(), in.size());
+  EXPECT_LE(MaxChannelError(in, approx), 84);
+  EXPECT_EQ(PaletteExpand(PaletteQuantize(approx)), approx);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, StructuredCodecRoundTrip,
+    ::testing::Values(
+        StructuredCase{TileKind::kText, 1, 64, 64},
+        StructuredCase{TileKind::kText, 2, 41, 23},
+        StructuredCase{TileKind::kGradient, 3, 64, 64},
+        StructuredCase{TileKind::kGradient, 4, 13, 57},
+        StructuredCase{TileKind::kScroll, 5, 64, 64},
+        StructuredCase{TileKind::kScroll, 6, 80, 17},
+        StructuredCase{TileKind::kNoise, 7, 64, 64},
+        StructuredCase{TileKind::kNoise, 8, 29, 31}));
+
 }  // namespace
 }  // namespace thinc

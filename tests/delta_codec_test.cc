@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/codec/delta.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+std::vector<Pixel> NoiseFrame(uint64_t seed, int32_t w, int32_t h) {
+  Prng rng(seed);
+  std::vector<Pixel> px(static_cast<size_t>(w) * h);
+  for (Pixel& p : px) {
+    p = static_cast<Pixel>(rng.Next()) | 0xFF000000u;
+  }
+  return px;
+}
+
+// Screen-like content: banded background with "text" speckle rows, so row
+// hashes are distinctive enough for scroll detection to latch on.
+std::vector<Pixel> TextFrame(int32_t w, int32_t h, int32_t phase) {
+  std::vector<Pixel> px(static_cast<size_t>(w) * h, MakePixel(245, 245, 245));
+  for (int32_t y = 0; y < h; ++y) {
+    int32_t line = y + phase;
+    for (int32_t x = 0; x < w; ++x) {
+      if ((x * 7 + line * 13) % 11 == 0) {
+        px[static_cast<size_t>(y) * w + x] = kBlack;
+      }
+    }
+  }
+  return px;
+}
+
+TEST(DeltaCodecTest, IdenticalFramesNearlyFree) {
+  std::vector<Pixel> frame = NoiseFrame(1, 64, 64);
+  DeltaStats stats;
+  std::vector<uint8_t> enc = DeltaEncode(frame, frame, 64, 64, &stats);
+  // 2 header bytes + 4 stripes of one 3-byte SKIP run each.
+  EXPECT_LE(enc.size(), 2u + 4u * 3u);
+  EXPECT_EQ(stats.skip_blocks, 16);
+  EXPECT_EQ(stats.copy_blocks, 0);
+  EXPECT_EQ(stats.literal_blocks, 0);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, frame, 64, 64, &out));
+  EXPECT_EQ(out, frame);
+}
+
+TEST(DeltaCodecTest, SingleBlockChangeRoundTrips) {
+  std::vector<Pixel> ref = NoiseFrame(2, 64, 64);
+  std::vector<Pixel> cur = ref;
+  cur[5 * 64 + 5] = MakePixel(1, 2, 3);
+  DeltaStats stats;
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 64, 64, &stats);
+  EXPECT_EQ(stats.literal_blocks, 1);
+  EXPECT_EQ(stats.skip_blocks, 15);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, ref, 64, 64, &out));
+  EXPECT_EQ(out, cur);
+}
+
+TEST(DeltaCodecTest, ScrollDetectedAsCopy) {
+  const int32_t w = 64, h = 128, scroll = 32;
+  std::vector<Pixel> ref = TextFrame(w, h, 0);
+  // Scrolled up by two blocks: row y of cur shows ref row y + scroll, with
+  // fresh text lines entering at the bottom.
+  std::vector<Pixel> cur = TextFrame(w, h, scroll);
+  DeltaStats stats;
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, w, h, &stats);
+  EXPECT_GT(stats.copy_blocks, 0);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, ref, w, h, &out));
+  EXPECT_EQ(out, cur);
+  // A delta of a scroll must beat re-sending the pixels.
+  EXPECT_LT(enc.size(), static_cast<size_t>(w) * h * sizeof(Pixel) / 4);
+}
+
+TEST(DeltaCodecTest, UnrelatedFramesRoundTrip) {
+  std::vector<Pixel> ref = NoiseFrame(3, 48, 48);
+  std::vector<Pixel> cur = NoiseFrame(4, 48, 48);
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 48, 48);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, ref, 48, 48, &out));
+  EXPECT_EQ(out, cur);
+}
+
+TEST(DeltaCodecTest, NonBlockAlignedGeometry) {
+  const int32_t w = 37, h = 21;  // partial blocks on both axes
+  std::vector<Pixel> ref = NoiseFrame(5, w, h);
+  std::vector<Pixel> cur = ref;
+  cur[20 * w + 36] = kWhite;  // bottom-right partial block
+  cur[0] = kWhite;
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, w, h);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, ref, w, h, &out));
+  EXPECT_EQ(out, cur);
+}
+
+TEST(DeltaCodecTest, SingleRowAndColumn) {
+  std::vector<Pixel> ref_row = NoiseFrame(6, 100, 1);
+  std::vector<Pixel> cur_row = ref_row;
+  cur_row[50] = kWhite;
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(DeltaEncode(ref_row, cur_row, 100, 1), ref_row, 100, 1,
+                          &out));
+  EXPECT_EQ(out, cur_row);
+  std::vector<Pixel> ref_col = NoiseFrame(7, 1, 100);
+  std::vector<Pixel> cur_col = ref_col;
+  cur_col[99] = kWhite;
+  ASSERT_TRUE(DeltaDecode(DeltaEncode(ref_col, cur_col, 1, 100), ref_col, 1, 100,
+                          &out));
+  EXPECT_EQ(out, cur_col);
+}
+
+TEST(DeltaCodecTest, EncodeIsDeterministic) {
+  std::vector<Pixel> ref = TextFrame(96, 96, 0);
+  std::vector<Pixel> cur = TextFrame(96, 96, 16);
+  EXPECT_EQ(DeltaEncode(ref, cur, 96, 96), DeltaEncode(ref, cur, 96, 96));
+}
+
+TEST(DeltaCodecTest, StatsCoverAllBlocks) {
+  std::vector<Pixel> ref = TextFrame(80, 50, 0);
+  std::vector<Pixel> cur = TextFrame(80, 50, 16);
+  DeltaStats stats;
+  DeltaEncode(ref, cur, 80, 50, &stats);
+  // 80x50 -> 5 block columns x 4 block rows.
+  EXPECT_EQ(stats.skip_blocks + stats.copy_blocks + stats.literal_blocks, 20);
+}
+
+TEST(DeltaCodecTest, CpuCostScalesWithArea) {
+  std::vector<Pixel> small_ref = NoiseFrame(8, 32, 32);
+  std::vector<Pixel> big_ref = NoiseFrame(9, 128, 128);
+  double small_cost = 0, big_cost = 0;
+  DeltaEncode(small_ref, small_ref, 32, 32, nullptr, &small_cost);
+  DeltaEncode(big_ref, big_ref, 128, 128, nullptr, &big_cost);
+  EXPECT_GT(small_cost, 0.0);
+  EXPECT_GT(big_cost, small_cost * 8);
+}
+
+TEST(DeltaCodecTest, ValidateAcceptsWellFormedPayloads) {
+  std::vector<Pixel> ref = TextFrame(64, 64, 0);
+  std::vector<Pixel> cur = TextFrame(64, 64, 16);
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 64, 64);
+  EXPECT_TRUE(DeltaValidate(enc, 64, 64));
+  // ... but only at the geometry it was encoded for.
+  EXPECT_FALSE(DeltaValidate(enc, 64, 48));
+  EXPECT_FALSE(DeltaValidate(enc, 48, 64));
+}
+
+TEST(DeltaCodecTest, TruncatedPayloadRejected) {
+  std::vector<Pixel> ref = NoiseFrame(10, 64, 64);
+  std::vector<Pixel> cur = NoiseFrame(11, 64, 64);
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 64, 64);
+  for (size_t cut : {size_t{0}, size_t{1}, enc.size() / 2, enc.size() - 1}) {
+    std::vector<uint8_t> truncated(enc.begin(), enc.begin() + cut);
+    EXPECT_FALSE(DeltaValidate(truncated, 64, 64));
+    std::vector<Pixel> out;
+    EXPECT_FALSE(DeltaDecode(truncated, ref, 64, 64, &out));
+  }
+}
+
+TEST(DeltaCodecTest, TrailingGarbageRejected) {
+  std::vector<Pixel> frame = NoiseFrame(12, 32, 32);
+  std::vector<uint8_t> enc = DeltaEncode(frame, frame, 32, 32);
+  enc.push_back(0x00);
+  EXPECT_FALSE(DeltaValidate(enc, 32, 32));
+  std::vector<Pixel> out;
+  EXPECT_FALSE(DeltaDecode(enc, frame, 32, 32, &out));
+}
+
+TEST(DeltaCodecTest, BadHeaderRejected) {
+  std::vector<Pixel> frame = NoiseFrame(13, 32, 32);
+  std::vector<uint8_t> enc = DeltaEncode(frame, frame, 32, 32);
+  std::vector<uint8_t> bad_version = enc;
+  bad_version[0] = 0x7F;
+  EXPECT_FALSE(DeltaValidate(bad_version, 32, 32));
+  std::vector<uint8_t> bad_block = enc;
+  bad_block[1] = 8;
+  EXPECT_FALSE(DeltaValidate(bad_block, 32, 32));
+}
+
+TEST(DeltaCodecTest, OutOfBoundsCopyVectorRejected) {
+  // Hand-built payload: version 1, block 16, one 16x16 stripe whose single
+  // run is a COPY reading above the rect.
+  std::vector<uint8_t> enc = {1, 16,       // header
+                              1, 1, 0,     // op COPY, run length 1
+                              0, 0,        // dx = 0
+                              0x10, 0x80}; // dy = -32768
+  EXPECT_FALSE(DeltaValidate(enc, 16, 16));
+  std::vector<Pixel> ref(16 * 16, kBlack);
+  std::vector<Pixel> out;
+  EXPECT_FALSE(DeltaDecode(enc, ref, 16, 16, &out));
+}
+
+TEST(DeltaCodecTest, FlatColorChangeStaysSmall) {
+  // A full-rect repaint in a new flat color: all literal, but the PNG-like
+  // literal mode keeps the payload tiny.
+  std::vector<Pixel> ref(128 * 128, MakePixel(20, 20, 120));
+  std::vector<Pixel> cur(128 * 128, MakePixel(250, 250, 250));
+  DeltaStats stats;
+  std::vector<uint8_t> enc = DeltaEncode(ref, cur, 128, 128, &stats);
+  EXPECT_EQ(stats.literal_blocks, 64);
+  EXPECT_LT(enc.size(), 4096u);
+  std::vector<Pixel> out;
+  ASSERT_TRUE(DeltaDecode(enc, ref, 128, 128, &out));
+  EXPECT_EQ(out, cur);
+}
+
+TEST(DeltaCodecTest, EmptyGeometryRejected) {
+  // Commands always carry non-empty rects; degenerate geometry is a
+  // protocol error, not a valid empty payload.
+  std::vector<Pixel> none;
+  EXPECT_TRUE(DeltaEncode(none, none, 0, 0).empty());
+  EXPECT_FALSE(DeltaValidate({}, 0, 0));
+  std::vector<Pixel> out;
+  EXPECT_FALSE(DeltaDecode({}, none, 0, 0, &out));
+}
+
+}  // namespace
+}  // namespace thinc
