@@ -25,7 +25,7 @@ esac
 # Tests exercising the zero-copy buffer architecture end to end: buffer
 # primitives, command encode caches, offscreen queue-copy CoW, shared-session
 # frame reuse, and the segment-queue send path.
-SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay|Cluster|Codec|Delta|Adapt'
+SANITIZE_FILTER='Buffer|Command|Connection|SessionShare|ExtractForCopy|Wire|Server|Stress|Fleet|Transport|Loopback|Relay|Cluster|Codec|Delta|Adapt|Device|Lossy|Trace'
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== tier-1: default preset build + full ctest =="
@@ -72,6 +72,13 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # than intra at equal fidelity.
   echo "== codec smoke: bench_codec --smoke =="
   ./build/bench/bench_codec --smoke
+
+  # Device smoke: the trace-driven device-class table run twice; THINC_CHECKs
+  # that the JSON is byte-identical across reruns (determinism over lossy
+  # paths included), that the phone negotiated its panel viewport, and that
+  # its Gilbert-Elliott WAN path actually dropped segments.
+  echo "== device smoke: bench_devices --smoke =="
+  ./build/bench/bench_devices --smoke
 fi
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then

@@ -27,6 +27,16 @@ void NetEstimator::OnDelivery(int from, SimTime now, size_t bytes) {
   if (from != sender_) {
     return;
   }
+  if (disturbed_) {
+    // This segment's arrival was shifted in transit (retransmission,
+    // reordering clamp, jitter compression): neither the gap ending at it
+    // nor the gap starting from it measures serialization time. Breaking
+    // the pairing here discards both.
+    disturbed_ = false;
+    prev_time_ = -1;
+    prev_bytes_ = 0;
+    return;
+  }
   int64_t n = static_cast<int64_t>(bytes);
   if (prev_time_ >= 0 && n == prev_bytes_ && n >= kMinSampleBytes &&
       now > prev_time_) {
@@ -39,6 +49,13 @@ void NetEstimator::OnDelivery(int from, SimTime now, size_t bytes) {
   }
   prev_time_ = now;
   prev_bytes_ = n;
+}
+
+void NetEstimator::OnDeliveryDisturbed(int from) {
+  if (from != sender_) {
+    return;
+  }
+  disturbed_ = true;
 }
 
 void NetEstimator::OnRttSample(int from, SimTime rtt) {
@@ -61,6 +78,7 @@ int64_t NetEstimator::BandwidthBps() const {
 void NetEstimator::Invalidate() {
   prev_time_ = -1;
   prev_bytes_ = 0;
+  disturbed_ = false;
   min_gap_ = 0;
   gap_bytes_ = 0;
   rtt_ = -1;

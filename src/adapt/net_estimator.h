@@ -34,6 +34,12 @@ class NetEstimator : public TransportObserver {
   explicit NetEstimator(int sender = Transport::kServer) : sender_(sender) {}
 
   void OnDelivery(int from, SimTime now, size_t bytes) override;
+  // A retransmitted/reordered/jitter-compressed segment is about to be
+  // reported: its arrival spacing carries no packet-pair information, so
+  // both the pair ending at it and the pair starting from it are discarded.
+  // Without this guard a retransmission landing between a back-to-back pair
+  // yields a near-zero gap and a wildly overestimated bandwidth.
+  void OnDeliveryDisturbed(int from) override;
   void OnRttSample(int from, SimTime rtt) override;
   void OnLinkChange() override;
 
@@ -52,6 +58,7 @@ class NetEstimator : public TransportObserver {
   int sender_;
   SimTime prev_time_ = -1;  // previous delivery in the observed direction
   int64_t prev_bytes_ = 0;
+  bool disturbed_ = false;  // next delivery's spacing is poisoned
   SimTime min_gap_ = 0;     // running min gap between equal-size segments
   int64_t gap_bytes_ = 0;   // segment size the min gap was measured at
   SimTime rtt_ = -1;

@@ -2,14 +2,33 @@
 
 namespace thinc {
 
+namespace {
+
+ThincServerOptions WithProfileLadder(ThincServerOptions options,
+                                     const DeviceProfile& profile) {
+  options.ladder = profile.ladder;
+  return options;
+}
+
+ThincClientOptions WithProfileName(ThincClientOptions options,
+                                   const DeviceProfile& profile) {
+  options.telemetry_host = "thinc-client-" + profile.name;
+  return options;
+}
+
+}  // namespace
+
 ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
                          int32_t screen_width, int32_t screen_height,
                          ThincServerOptions server_options,
                          ThincClientOptions client_options,
-                         int server_cpu_cores, TransportKind transport_kind)
+                         int server_cpu_cores, TransportKind transport_kind,
+                         const LossyOptions& lossy_options,
+                         double client_decode_speed)
     : loop_(loop), server_cpu_(loop, kServerCpuSpeed, server_cpu_cores),
-      client_cpu_(loop, kClientCpuSpeed), link_(link),
-      transport_kind_(transport_kind), conn_(MakeTransport()) {
+      client_cpu_(loop, kClientCpuSpeed * client_decode_speed), link_(link),
+      transport_kind_(transport_kind), lossy_options_(lossy_options),
+      conn_(MakeTransport()) {
   // Keep push/pull settings coherent across the pair.
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
@@ -36,9 +55,33 @@ ThincSystem::ThincSystem(EventLoop* loop, const LinkParams& link,
   });
 }
 
+ThincSystem::ThincSystem(EventLoop* loop, const DeviceProfile& profile,
+                         const LinkParams& link, int32_t screen_width,
+                         int32_t screen_height,
+                         ThincServerOptions server_options,
+                         ThincClientOptions client_options,
+                         int server_cpu_cores)
+    : ThincSystem(loop, profile.link.value_or(link), screen_width,
+                  screen_height, WithProfileLadder(server_options, profile),
+                  WithProfileName(client_options, profile), server_cpu_cores,
+                  profile.lossy ? TransportKind::kLossy : TransportKind::kWire,
+                  profile.loss, profile.decode_speed) {
+  // A device panel smaller than the hosted desktop negotiates its viewport
+  // at session start: the server resamples every update through the Fant
+  // path (Section 6) and ships phone-sized bytes from the first refresh.
+  if (profile.screen_width > 0 && profile.screen_height > 0 &&
+      (profile.screen_width != screen_width ||
+       profile.screen_height != screen_height)) {
+    client_->RequestViewport(profile.screen_width, profile.screen_height);
+  }
+}
+
 std::unique_ptr<Transport> ThincSystem::MakeTransport() {
   if (transport_kind_ == TransportKind::kLoopback) {
     return std::make_unique<LoopbackTransport>(loop_, &server_cpu_);
+  }
+  if (transport_kind_ == TransportKind::kLossy) {
+    return std::make_unique<LossyTransport>(loop_, link_, lossy_options_);
   }
   return std::make_unique<Connection>(loop_, link_);
 }

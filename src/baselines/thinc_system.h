@@ -12,9 +12,11 @@
 #include "src/baselines/system.h"
 #include "src/core/thinc_client.h"
 #include "src/core/thinc_server.h"
+#include "src/device/device.h"
 #include "src/display/window_server.h"
 #include "src/net/connection.h"
 #include "src/net/loopback.h"
+#include "src/net/lossy.h"
 
 namespace thinc {
 
@@ -29,7 +31,20 @@ class ThincSystem : public RemoteDisplaySystem {
               int32_t screen_height, ThincServerOptions server_options = {},
               ThincClientOptions client_options = {},
               int server_cpu_cores = 1,
-              TransportKind transport_kind = TransportKind::kWire);
+              TransportKind transport_kind = TransportKind::kWire,
+              const LossyOptions& lossy_options = {},
+              double client_decode_speed = 1.0);
+
+  // Device-profile construction: the profile supplies the transport kind
+  // (lossy WAN when profile.lossy), an optional link override, the client's
+  // decode CPU speed, the server's degradation schedule, and — when the
+  // device panel is smaller than the hosted desktop — the viewport the
+  // client negotiates at session start (server-side Fant resize).
+  ThincSystem(EventLoop* loop, const DeviceProfile& profile,
+              const LinkParams& link, int32_t screen_width,
+              int32_t screen_height, ThincServerOptions server_options = {},
+              ThincClientOptions client_options = {},
+              int server_cpu_cores = 1);
 
   std::string name() const override { return "THINC"; }
   DrawingApi* api() override { return window_server_.get(); }
@@ -96,6 +111,7 @@ class ThincSystem : public RemoteDisplaySystem {
   CpuAccount client_cpu_;
   LinkParams link_;
   TransportKind transport_kind_;
+  LossyOptions lossy_options_;  // used when transport_kind_ == kLossy
   std::unique_ptr<Transport> conn_;
   // Dead transports outlive their replacement: scheduled loop events
   // capture raw pointers into them, and robustness stats read their traces.

@@ -91,8 +91,9 @@ std::optional<size_t> ClusterController::PickHost(
 
 int64_t ClusterController::Admit(size_t h, const FleetSessionDemand& demand,
                                  int64_t weight,
-                                 std::optional<size_t> home_host, bool local) {
-  FleetHost::Admission a = hosts_[h]->AddSession(demand, weight, local);
+                                 std::optional<size_t> home_host, bool local,
+                                 const DeviceProfile& profile) {
+  FleetHost::Admission a = hosts_[h]->AddSession(demand, weight, local, profile);
   THINC_CHECK_MSG(a == FleetHost::Admission::kAdmitted,
                   "cluster admit raced host admission");
   SessionRef ref;
@@ -114,13 +115,15 @@ int64_t ClusterController::Admit(size_t h, const FleetSessionDemand& demand,
 
 int64_t ClusterController::AddSession(const FleetSessionDemand& demand,
                                       int64_t weight,
-                                      std::optional<size_t> home_host) {
+                                      std::optional<size_t> home_host,
+                                      const DeviceProfile& profile) {
   // Home placement first: a terminal plugged into one of the cluster's own
   // hosts runs co-located there (loopback, CPU-only admission) whenever the
   // home host can take it.
   if (home_host.has_value() && *home_host < hosts_.size() &&
       hosts_[*home_host]->CanAdmit(demand, /*local=*/true)) {
-    return Admit(*home_host, demand, weight, home_host, /*local=*/true);
+    return Admit(*home_host, demand, weight, home_host, /*local=*/true,
+                 profile);
   }
   std::optional<size_t> h = PickHost(demand);
   if (!h.has_value()) {
@@ -129,7 +132,7 @@ int64_t ClusterController::AddSession(const FleetSessionDemand& demand,
     parked->Inc();
     return -1;
   }
-  return Admit(*h, demand, weight, home_host, /*local=*/false);
+  return Admit(*h, demand, weight, home_host, /*local=*/false, profile);
 }
 
 std::vector<int64_t> ClusterController::PlaceBatch(
@@ -175,11 +178,12 @@ std::vector<int64_t> ClusterController::PlaceBatch(
 
 int64_t ClusterController::AdmitOnHost(size_t h,
                                        const FleetSessionDemand& demand,
-                                       int64_t weight) {
+                                       int64_t weight,
+                                       const DeviceProfile& profile) {
   if (h >= hosts_.size() || !hosts_[h]->CanAdmit(demand, /*local=*/false)) {
     return -1;
   }
-  return Admit(h, demand, weight, std::nullopt, /*local=*/false);
+  return Admit(h, demand, weight, std::nullopt, /*local=*/false, profile);
 }
 
 int ClusterController::PredictedCapacity(

@@ -98,9 +98,11 @@ class ClusterController {
   // Cluster-scope admission: places on the home host co-located when given
   // and admissible, else least-loaded among hosts that can admit. Returns
   // the cluster-wide session id, or -1 when no host can take the demand
-  // (counted as parked).
+  // (counted as parked). `profile` is the device the session serves
+  // (defaults to desktop); it travels with the session across migrations.
   int64_t AddSession(const FleetSessionDemand& demand, int64_t weight = 1,
-                     std::optional<size_t> home_host = std::nullopt);
+                     std::optional<size_t> home_host = std::nullopt,
+                     const DeviceProfile& profile = {});
   // First-fit-decreasing bin packing of a known population: sort by
   // normalized demand (descending, stable by arrival order), place each on
   // the first host that admits it. Returns gids in input order (-1 parked).
@@ -110,7 +112,7 @@ class ClusterController {
   // (skewed initial layouts for rebalancing scenarios, arrivals that
   // predate other hosts). Still admission-checked; -1 when it doesn't fit.
   int64_t AdmitOnHost(size_t host, const FleetSessionDemand& demand,
-                      int64_t weight = 1);
+                      int64_t weight = 1, const DeviceProfile& profile = {});
   // Sessions/demand the whole cluster can hold (sum of per-host capacity).
   int PredictedCapacity(const FleetSessionDemand& demand) const;
 
@@ -183,7 +185,8 @@ class ClusterController {
   }
   // Admits on host h (no policy); returns gid or -1.
   int64_t Admit(size_t h, const FleetSessionDemand& demand, int64_t weight,
-                std::optional<size_t> home_host, bool local);
+                std::optional<size_t> home_host, bool local,
+                const DeviceProfile& profile = {});
   // Least-loaded host that can admit `demand` (remote), or nullopt.
   std::optional<size_t> PickHost(const FleetSessionDemand& demand) const;
   void Tick(SimTime until);

@@ -70,6 +70,7 @@ std::string RawCommand::EncodeIdentityKey() const {
   uint64_t id = pixels_.content_id();
   key.append(reinterpret_cast<const char*>(&id), sizeof(id));
   key.push_back(compression_enabled_ ? 1 : 0);
+  AppendI32(&key, static_cast<int32_t>(compress_floor_));
   AppendI32(&key, rect_.x);
   AppendI32(&key, rect_.y);
   AppendI32(&key, rect_.width);
@@ -119,7 +120,7 @@ void RawCommand::EnsureEncoded() const {
   for (const Rect& r : region_.rects()) {
     std::vector<Pixel> sub = ExtractRect(r);
     const size_t raw_bytes = sub.size() * sizeof(Pixel);
-    if (compression_enabled_ && r.area() >= kCompressThresholdPixels) {
+    if (compression_enabled_ && r.area() >= compress_floor_) {
       std::vector<uint8_t> compressed = PngLikeEncode(sub, r.width, r.height);
       if (compressed.size() < raw_bytes) {
         w.U8(kRawPngLike);
@@ -178,6 +179,7 @@ std::unique_ptr<Command> RawCommand::Clone() const {
   auto clone = std::make_unique<RawCommand>(rect_, pixels_.Share());
   clone->region_ = region_;
   clone->compression_enabled_ = compression_enabled_;
+  clone->compress_floor_ = compress_floor_;
   clone->fidelity_degraded_ = fidelity_degraded_;
   return clone;
 }
@@ -251,6 +253,7 @@ std::unique_ptr<Command> RawCommand::SplitOff(size_t max_bytes) {
   auto split = std::make_unique<RawCommand>(rect_, pixels_.Share());
   split->region_ = std::move(head);
   split->compression_enabled_ = compression_enabled_;
+  split->compress_floor_ = compress_floor_;
   split->fidelity_degraded_ = fidelity_degraded_;
   split->set_trace_id(trace_id());  // same update, another wire frame
   split->InvalidateCache();

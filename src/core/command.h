@@ -173,6 +173,19 @@ class RawCommand : public Command {
     }
   }
 
+  // Overrides the per-rect area floor below which compression is not
+  // attempted. Viewport-resampled pieces fragment an already-large update
+  // into rects that the default heuristic misjudges as "too small to be
+  // worth compressing"; with a floor of 0 every rect attempts compression
+  // (the encoder keeps the uncompressed form whenever the attempt loses, so
+  // lowering the floor trades encode CPU, never bytes).
+  void set_compress_floor(int64_t pixels) {
+    if (compress_floor_ != pixels) {
+      compress_floor_ = pixels;
+      InvalidateCache();
+    }
+  }
+
   // Reads the pixels of `r` (must be inside rect()) row-major.
   std::vector<Pixel> ExtractRect(const Rect& r) const;
 
@@ -202,6 +215,7 @@ class RawCommand : public Command {
   PixelBuffer pixels_;  // rect_.width * rect_.height, CoW-shared by clones
   Region region_;       // subset of rect_ actually drawn
   bool compression_enabled_ = true;
+  int64_t compress_floor_ = kCompressThresholdPixels;
   bool fidelity_degraded_ = false;  // SubsampleFidelity() applied
 
   // Lazy encode cache (cleared by any mutation). The frame itself may also

@@ -26,7 +26,7 @@ ThincClient::ThincClient(EventLoop* loop, Transport* conn, CpuAccount* cpu,
   }
   Telemetry& telemetry = Telemetry::Get();
   if (telemetry.active()) {
-    telemetry_pid_ = telemetry.RegisterHostAuto("thinc-client");
+    telemetry_pid_ = telemetry.RegisterHostAuto(options_.telemetry_host);
     telemetry.NameThread(telemetry_pid_, 1, "net");
     telemetry.NameThread(telemetry_pid_, 2, "decode");
   }

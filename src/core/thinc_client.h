@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/codec/rc4.h"
@@ -31,6 +32,10 @@ struct ThincClientOptions {
   bool headless = false;  // instrumented client: process but don't render
   // Client-pull mode (ablation): the client must request updates.
   bool client_pull = false;
+  // Chrome-trace host name registered for this client's pid. Device
+  // profiles name it by class ("thinc-client-phone") so mixed-population
+  // traces stay distinguishable.
+  std::string telemetry_host = "thinc-client";
 };
 
 // Arrival record for one displayed video frame (A/V quality measurement).

@@ -28,23 +28,13 @@ constexpr double kTranslateCost = 1.0;
 // the host has cores).
 constexpr double kEncodeSliceCostUs = 500.0;
 
-// Overload degradation ladder (levels 0-4; see SetDegradationLevel). Level
-// 2 is the codec rung: batching and socket budgets hold at their level-1
-// settings while the adapt layer's CodecSelector forces temporal coding, so
-// wire bytes shrink a rung before fidelity does.
-constexpr int kFlushStretch[kMaxDegradationLevel + 1] = {1, 4, 4, 8, 16};
-constexpr int kVideoDecimation[kMaxDegradationLevel + 1] = {1, 2, 2, 4, 8};
-// RAW payload subsample factor (server-side fidelity downshift): quarter
-// resolution content at level 3, sixteenth at level 4, in unchanged
-// geometry — roughly factor^2 fewer wire bytes after compression.
-constexpr int32_t kFidelitySubsample[kMaxDegradationLevel + 1] = {1, 1, 1, 2, 4};
-// In-socket backlog budget: bytes already committed to the socket FIFO can
-// no longer be overwritten by fresher content, so past level 0 the flush
-// stops feeding the socket once this much is queued there. Updates wait in
-// the scheduler (and video frames in the media queue) where THINC's
-// overwrite semantics shed staleness instead of serializing it.
-constexpr size_t kSocketBacklogBudget[kMaxDegradationLevel + 1] = {
-    SIZE_MAX, 64u << 10, 64u << 10, 16u << 10, 4u << 10};
+// The per-level degradation mechanisms (flush stretch, video decimation,
+// fidelity subsample, socket backlog budget) live in the options'
+// DegradationSchedule so device profiles can reorder the rungs; level 2 is
+// the codec rung in the default schedule — batching and socket budgets hold
+// at their level-1 settings while the adapt layer's CodecSelector forces
+// temporal coding, so wire bytes shrink a rung before fidelity does.
+//
 // SRSF starvation limit armed at level >= 1: a large update older than this
 // flushes ahead of the small-update churn that heavier batching produces.
 constexpr SimTime kDegradedStarvationLimit = 300 * kMillisecond;
@@ -190,10 +180,10 @@ void ThincServer::SetDegradationLevel(int level) {
   if (level == degradation_level_) {
     return;
   }
-  const int32_t old_subsample = kFidelitySubsample[degradation_level_];
+  const int32_t old_subsample = options_.ladder.fidelity_subsample[degradation_level_];
   degradation_level_ = level;
   scheduler_.set_starvation_limit(level >= 1 ? kDegradedStarvationLimit : 0);
-  if (ref_armed_ && kFidelitySubsample[level] != old_subsample) {
+  if (ref_armed_ && options_.ladder.fidelity_subsample[level] != old_subsample) {
     // The client's framebuffer now mixes fidelities the reference can't
     // model (prior commits at the old factor, future ones at the new); mark
     // everything stale so deltas re-arm region by region as full-fidelity
@@ -213,7 +203,7 @@ void ThincServer::SetDegradationLevel(int level) {
 }
 
 SimTime ThincServer::EffectiveFlushInterval() const {
-  return options_.flush_interval * kFlushStretch[degradation_level_];
+  return options_.flush_interval * options_.ladder.flush_stretch[degradation_level_];
 }
 
 void ThincServer::EnforceSchedulerCap() {
@@ -408,6 +398,9 @@ std::vector<std::unique_ptr<Command>> ThincServer::ResizeForViewport(
         auto piece = std::make_unique<RawCommand>(
             dst, std::vector<Pixel>(scaled.pixels().begin(), scaled.pixels().end()));
         piece->set_compression_enabled(options_.compress_raw);
+        // A resampled piece descends from an update that was large at full
+        // scale; the codec's small-rect heuristic would misjudge it.
+        piece->set_compress_floor(0);
         out.push_back(std::move(piece));
       }
       return out;
@@ -416,21 +409,33 @@ std::vector<std::unique_ptr<Command>> ThincServer::ResizeForViewport(
     case MsgType::kCopy: {
       // BITMAP cannot be resized without destroying the mask (Section 6), and
       // scaled COPY coordinates are not pixel-exact; both are converted to
-      // RAW read from the reference screen, then resampled.
-      for (const Rect& r : cmd->region().rects()) {
-        Rect clipped = r.Intersect(window_server_->screen().bounds());
-        Rect dst = scale_rect(clipped);
-        if (dst.empty()) {
-          continue;
-        }
-        Surface src(clipped.width, clipped.height);
-        src.PutPixels(Rect{0, 0, clipped.width, clipped.height},
-                      window_server_->screen().GetPixels(clipped));
-        cpu_->Charge(static_cast<double>(clipped.area()) * cpucost::kResamplePerPixel);
-        Surface scaled = FantResample(src, dst.width, dst.height);
-        auto piece = std::make_unique<RawCommand>(
-            dst, std::vector<Pixel>(scaled.pixels().begin(), scaled.pixels().end()));
-        piece->set_compression_enabled(options_.compress_raw);
+      // RAW read from the reference screen, then resampled. The whole region
+      // becomes ONE piece over its scaled bounds: converting per glyph-sized
+      // rect would ship each below the codec's area floor at 4 B/px — an 8x
+      // inflation over the 1-bit BITMAP it replaces — and resampling across
+      // rect boundaries also filters the text against its true background.
+      Region clipped =
+          cmd->region().Intersect(window_server_->screen().bounds());
+      if (clipped.empty()) {
+        return out;
+      }
+      const Rect bounds = clipped.Bounds();
+      const Rect dst = scale_rect(bounds);
+      if (dst.empty()) {
+        return out;
+      }
+      Surface src(bounds.width, bounds.height);
+      src.PutPixels(Rect{0, 0, bounds.width, bounds.height},
+                    window_server_->screen().GetPixels(bounds));
+      cpu_->Charge(static_cast<double>(bounds.area()) * cpucost::kResamplePerPixel);
+      Surface scaled = FantResample(src, dst.width, dst.height);
+      auto piece = std::make_unique<RawCommand>(
+          dst, std::vector<Pixel>(scaled.pixels().begin(), scaled.pixels().end()));
+      piece->set_compression_enabled(options_.compress_raw);
+      piece->set_compress_floor(0);
+      // Keep the shipped region tight: only the scaled image of the source
+      // region is painted, not the gaps the bounding read swept in.
+      if (piece->RestrictTo(clipped.Scaled(num, den))) {
         out.push_back(std::move(piece));
       }
       return out;
@@ -528,7 +533,7 @@ void ThincServer::OnVideoFrame(int32_t stream_id, const Yv12Frame& frame) {
   // Ladder decimation: keep the first frame of every group of `decim` (the
   // phase counter runs at every level so engaging the ladder mid-stream
   // stays aligned to the same group boundaries).
-  const int decim = kVideoDecimation[degradation_level_];
+  const int decim = options_.ladder.video_decimation[degradation_level_];
   const int64_t frame_index = it->second.frames_seen++;
   if (decim > 1 && frame_index % decim != 0) {
     ++video_frames_dropped_;
@@ -914,7 +919,7 @@ void ThincServer::Flush() {
     // as the socket drains.
     if (degradation_level_ > 0 &&
         conn_->SendBufferCapacity() - conn_->FreeSpace(Transport::kServer) >
-            kSocketBacklogBudget[degradation_level_]) {
+            options_.ladder.socket_backlog_budget[degradation_level_]) {
       break;
     }
     if (!video_queue_.empty()) {
@@ -930,13 +935,13 @@ void ThincServer::Flush() {
     }
     pending_ = std::move(cmd);
     pending_prepared_ = false;
-    if (kFidelitySubsample[degradation_level_] > 1 &&
+    if (options_.ladder.fidelity_subsample[degradation_level_] > 1 &&
         pending_->type() == MsgType::kRaw) {
       // Ladder fidelity downshift at pop time (after overwrite coalescing
       // has had its chance): resample work is charged like the viewport
       // path's server-side scaling.
       auto* raw = static_cast<RawCommand*>(pending_.get());
-      if (raw->SubsampleFidelity(kFidelitySubsample[degradation_level_])) {
+      if (raw->SubsampleFidelity(options_.ladder.fidelity_subsample[degradation_level_])) {
         cpu_->Charge(static_cast<double>(raw->rect().area()) *
                      cpucost::kResamplePerPixel);
       }

@@ -52,6 +52,43 @@ namespace thinc {
 // Highest overload-degradation ladder level (see SetDegradationLevel).
 inline constexpr int kMaxDegradationLevel = 4;
 
+// Which mechanism each overload-ladder rung reaches for, per level 0..4.
+// The default is the rung order the fleet controller has always used; a
+// device profile may install a different schedule (phones trade resolution
+// before anything else — their panel hides the subsampling the ladder
+// applies to already viewport-scaled content).
+struct DegradationSchedule {
+  // Flush aggregation window multiplier (more batching, more overwrite
+  // eviction, fewer wakeups).
+  int flush_stretch[kMaxDegradationLevel + 1] = {1, 4, 4, 8, 16};
+  // Server-side video frame decimation (keep 1 in N).
+  int video_decimation[kMaxDegradationLevel + 1] = {1, 2, 2, 4, 8};
+  // RAW payload subsample factor (server-side fidelity/resolution
+  // downshift in unchanged geometry).
+  int32_t fidelity_subsample[kMaxDegradationLevel + 1] = {1, 1, 1, 2, 4};
+  // In-socket backlog budget: past level 0 the flush stops feeding the
+  // socket once this much is queued there, keeping staleness sheddable in
+  // the scheduler.
+  size_t socket_backlog_budget[kMaxDegradationLevel + 1] = {
+      SIZE_MAX, 64u << 10, 64u << 10, 16u << 10, 4u << 10};
+
+  // The desktop rung order (identical to the member defaults).
+  static DegradationSchedule Default() { return {}; }
+  // Resolution-first: fidelity subsampling engages at level 1 (x2) and
+  // tops out at x4 from level 3, while batching stays a rung gentler —
+  // phone sessions shed resolution before latency-visible mechanisms.
+  static DegradationSchedule ResolutionFirst() {
+    DegradationSchedule s;
+    const int32_t subsample[kMaxDegradationLevel + 1] = {1, 2, 2, 4, 4};
+    const int stretch[kMaxDegradationLevel + 1] = {1, 1, 4, 4, 16};
+    for (int i = 0; i <= kMaxDegradationLevel; ++i) {
+      s.fidelity_subsample[i] = subsample[i];
+      s.flush_stretch[i] = stretch[i];
+    }
+    return s;
+  }
+};
+
 struct ThincServerOptions {
   // Ablation knobs.
   bool offscreen_tracking = true;  // Section 4.1 optimization
@@ -88,6 +125,9 @@ struct ThincServerOptions {
   // Degradation-ladder level the server starts at (bench knob for holding a
   // session at one rung; the fleet controller moves it afterwards as usual).
   int initial_degradation_level = 0;
+  // Per-level rung schedule; device profiles swap in alternatives (phones
+  // use DegradationSchedule::ResolutionFirst()).
+  DegradationSchedule ladder;
   // Chrome-trace host name registered for this server's pid. A fleet host
   // names each session distinctly ("fleet-session-3") so traces separate.
   std::string telemetry_host = "thinc-server";
@@ -213,6 +253,12 @@ class ThincServer : public DisplayDriver {
   //     not starved indefinitely behind the now-heavier small-update churn.
   void SetDegradationLevel(int level);
   int degradation_level() const { return degradation_level_; }
+  // The RAW subsample factor the current rung applies (1 = lossless) — how
+  // benches and the device-matrix tests observe that a profile's schedule
+  // degrades resolution before (or after) the other mechanisms.
+  int32_t current_fidelity_subsample() const {
+    return options_.ladder.fidelity_subsample[degradation_level_];
+  }
 
   // Chrome-trace pid of this server's simulated host (0 when telemetry was
   // inactive at construction). Bench harnesses group per-session lifecycle

@@ -75,7 +75,8 @@ int FleetHost::PredictedCapacity(const FleetSessionDemand& demand) const {
 }
 
 FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
-                                           int64_t weight, bool local) {
+                                           int64_t weight, bool local,
+                                           const DeviceProfile& profile) {
   if (!FitsHeadroom(demand, local)) {
     if (options_.park_beyond_capacity) {
       ++parked_;
@@ -99,6 +100,7 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
   s->seed = DeriveSessionSeed(options_.seed, id);
   s->local = local;
   s->demand = demand;
+  s->profile = profile;
   s->prng = Prng(s->seed);
   // Two sessions sharing a PRNG stream would correlate "independent"
   // workloads; the derivation makes it impossible, and this check keeps it
@@ -114,9 +116,15 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
   ThincServerOptions server_options = options_.server_options;
   server_options.telemetry_host =
       options_.session_name_prefix + std::to_string(id);
+  // The device profile chooses the overload ladder (phones degrade
+  // resolution first) and names the client's trace host by class so mixed
+  // populations stay distinguishable.
+  server_options.ladder = profile.ladder;
   ThincClientOptions client_options = options_.client_options;
   client_options.client_pull = !server_options.server_push;
   client_options.encrypt = server_options.encrypt;
+  client_options.telemetry_host = options_.session_name_prefix +
+                                  std::to_string(id) + "-" + profile.name;
   s->server = std::make_unique<ThincServer>(loop_, s->transport.get(),
                                             &host_cpu_, server_options);
   s->ws = std::make_unique<WindowServer>(options_.screen_width,
@@ -129,6 +137,13 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
                                             options_.screen_height,
                                             client_options);
   BindInputHandler(s.get());
+  // A device panel smaller than the hosted desktop negotiates its viewport
+  // at session start; the server Fant-resamples every subsequent update.
+  if (profile.screen_width > 0 && profile.screen_height > 0 &&
+      (profile.screen_width != options_.screen_width ||
+       profile.screen_height != options_.screen_height)) {
+    s->client->RequestViewport(profile.screen_width, profile.screen_height);
+  }
 
   admitted_cpu_us_per_sec_ += s->demand.cpu_us_per_sec;
   if (!local) {
@@ -147,6 +162,26 @@ FleetHost::Admission FleetHost::AddSession(const FleetSessionDemand& demand,
     admitted->Inc();
     count->Set(static_cast<int64_t>(live_sessions_));
     locals->Set(static_cast<int64_t>(local_count_));
+    // Device-matrix accounting: which classes this host serves and how many
+    // of them needed viewport/loss-path treatment (per-class names are few,
+    // so the registry lookup per admission is fine).
+    const DeviceProfile& prof = sessions_.back()->profile;
+    MetricsRegistry::Get()
+        .GetCounter(std::string("device.admitted.") +
+                    DeviceClassName(prof.klass))
+        ->Inc();
+    if (prof.screen_width > 0 && prof.screen_height > 0 &&
+        (prof.screen_width != options_.screen_width ||
+         prof.screen_height != options_.screen_height)) {
+      static Counter* viewports =
+          MetricsRegistry::Get().GetCounter("device.viewport_negotiations");
+      viewports->Inc();
+    }
+    if (prof.lossy) {
+      static Counter* lossy_paths =
+          MetricsRegistry::Get().GetCounter("device.lossy_paths");
+      lossy_paths->Inc();
+    }
   }
   return Admission::kAdmitted;
 }
@@ -162,13 +197,31 @@ CpuAccount* FleetHost::AttachTransport(FleetSession* s, int64_t weight,
         std::make_unique<LoopbackTransport>(loop_, &host_cpu_, options_.loopback);
     return &host_cpu_;
   }
-  auto wire = std::make_unique<Connection>(loop_, options_.link,
-                                           options_.send_buffer_bytes);
+  // The profile may override the per-session link (a phone's WAN path is
+  // not the datacenter default) and swap the clean wire for a lossy one.
+  const LinkParams link = s->profile.link.value_or(options_.link);
+  std::unique_ptr<Connection> wire;
+  if (s->profile.lossy) {
+    // Each session's loss process gets its own deterministic substream,
+    // derived from the session seed by the same bijective mix that keeps
+    // workload streams disjoint (constant tags the loss domain).
+    LossyOptions loss = s->profile.loss;
+    loss.seed = DeriveSessionSeed(s->seed, 0x10551ULL);
+    wire = std::make_unique<LossyTransport>(loop_, link, loss,
+                                            options_.send_buffer_bytes);
+  } else {
+    wire = std::make_unique<Connection>(loop_, link,
+                                        options_.send_buffer_bytes);
+  }
   wire->AttachUplink(&nic_, weight);
   s->wire = wire.get();
   s->transport = std::move(wire);
   if (s->client_cpu == nullptr) {
-    s->client_cpu = std::make_unique<CpuAccount>(loop_, 1.0);
+    // Phones decode slower than the 1.0x reference terminal; the profile's
+    // factor scales the account for the session's lifetime (it migrates
+    // with the session).
+    s->client_cpu =
+        std::make_unique<CpuAccount>(loop_, s->profile.decode_speed);
   }
   return s->client_cpu.get();
 }

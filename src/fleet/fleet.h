@@ -47,9 +47,11 @@
 
 #include "src/core/thinc_client.h"
 #include "src/core/thinc_server.h"
+#include "src/device/device.h"
 #include "src/display/window_server.h"
 #include "src/net/connection.h"
 #include "src/net/loopback.h"
+#include "src/net/lossy.h"
 #include "src/net/nic.h"
 #include "src/util/cpu.h"
 #include "src/util/event_loop.h"
@@ -130,6 +132,11 @@ struct FleetSession {
   // effective demand (NIC zeroed while local) so a session migrating from a
   // co-located slot back to a remote one regains its NIC share.
   FleetSessionDemand demand;
+  // The device this session serves. Travels with the session across
+  // migrations: the destination host rebuilds the same kind of transport
+  // (lossy WAN for phones), reuses the profile's link override and decode
+  // speed, and the controller keeps applying the profile's ladder.
+  DeviceProfile profile;
   std::unique_ptr<Transport> transport;
   Connection* wire = nullptr;  // transport downcast; null when local
   // Transports retired by migration stay alive: scheduled loop events and
@@ -166,8 +173,15 @@ class FleetHost {
   // wire-transport capability — so only their CPU demand counts toward
   // admission, and their client decodes on the shared host CPU (it IS the
   // host). Returns the outcome; ids are assigned densely in admission order.
+  //
+  // `profile` describes the device the session serves (default: desktop,
+  // which reproduces the historical behaviour byte-for-byte). A non-desktop
+  // profile can override the per-session link, swap the wire for a lossy WAN
+  // path (deterministic per-session loss seed), scale the client's decode
+  // CPU, install a device-specific degradation schedule, and negotiate a
+  // smaller viewport at session start.
   Admission AddSession(const FleetSessionDemand& demand, int64_t weight = 1,
-                       bool local = false);
+                       bool local = false, const DeviceProfile& profile = {});
 
   // Deterministic per-session seed: a bijective splitmix64-style mix of
   // (fleet_seed, id), so two sessions of one fleet can never share a PRNG
@@ -233,6 +247,10 @@ class FleetHost {
   Connection* connection(size_t id) { return sessions_[id]->wire; }
   bool is_local(size_t id) const { return sessions_[id]->local; }
   size_t local_count() const { return local_count_; }
+  // The session's device profile (desktop unless set at AddSession).
+  const DeviceProfile& profile(size_t id) const {
+    return sessions_[id]->profile;
+  }
   // The session's private workload PRNG stream.
   Prng* prng(size_t id) { return &sessions_[id]->prng; }
   uint64_t session_seed(size_t id) const { return sessions_[id]->seed; }

@@ -186,20 +186,25 @@ void Connection::Pump(int from) {
     ByteBuffer payload = d.send_buffer.PopUpTo(static_cast<size_t>(seg_len));
     freed_space = true;
 
-    SimTime arrival = depart + params_.rtt / 2;
-    SimTime ack = arrival + params_.rtt / 2;
+    SimTime ack = 0;
+    bool disturbed = false;
+    SimTime arrival = PlanSegmentTrip(from, depart, &ack, &disturbed);
     d.inflight_bytes += seg_len;
     d.inflight.emplace_back(ack, seg_len);
 
     const uint64_t epoch = epoch_;
-    loop_->ScheduleAt(arrival, [this, from, epoch, payload = std::move(payload)] {
-      RunOrFreeze(epoch, [this, from, payload] {
+    loop_->ScheduleAt(arrival, [this, from, epoch, disturbed,
+                                payload = std::move(payload)] {
+      RunOrFreeze(epoch, [this, from, disturbed, payload] {
+        if (disturbed && observer() != nullptr) {
+          observer()->OnDeliveryDisturbed(from);
+        }
         Deliver(from, payload);
       });
     });
     // The round trip this ack will have measured; captured at send time so
     // a mid-flight SetLinkParams cannot retroactively relabel the sample.
-    const SimTime sample_rtt = params_.rtt;
+    const SimTime sample_rtt = ack - depart;
     loop_->ScheduleAt(ack, [this, from, epoch, seg_len, sample_rtt] {
       RunOrFreeze(epoch, [this, from, seg_len, sample_rtt] {
         Direction& dir = dirs_[from];
@@ -226,6 +231,15 @@ void Connection::Pump(int from) {
   if (freed_space) {
     NotifyWritable(from);
   }
+}
+
+SimTime Connection::PlanSegmentTrip(int from, SimTime depart, SimTime* ack,
+                                    bool* disturbed) {
+  (void)from;
+  SimTime arrival = depart + params_.rtt / 2;
+  *ack = arrival + params_.rtt / 2;
+  *disturbed = false;
+  return arrival;
 }
 
 Relay::Relay(Transport* a, int a_end, Transport* b, int b_end) {

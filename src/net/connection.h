@@ -75,6 +75,19 @@ class Connection : public Transport {
   // True when no data is buffered or in flight in either direction.
   bool Idle() const override;
 
+ protected:
+  // Plans the one-way trip of a segment that finishes serializing at
+  // `depart`: returns its arrival time at the far endpoint, and sets *ack to
+  // when the sender learns it got there and *disturbed when the segment's
+  // spacing to its neighbors no longer reflects pure serialization (loss,
+  // retransmission, jitter reordering) — the flag reaches the observer as
+  // OnDeliveryDisturbed so packet-pair estimators can discard the sample.
+  // The clean wire propagates RTT/2 each way and is never disturbed.
+  // Implementations must keep both returned times non-decreasing per
+  // direction: the delivered-byte stream and the in-flight ack pop are FIFO.
+  virtual SimTime PlanSegmentTrip(int from, SimTime depart, SimTime* ack,
+                                  bool* disturbed);
+
  private:
   struct Direction {
     SegmentQueue send_buffer;             // bytes accepted but not serialized

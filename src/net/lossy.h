@@ -1,0 +1,104 @@
+// A wire over a lossy WAN path — the Connection wire plus a Gilbert–Elliott
+// loss process, jittered propagation, and retransmit-on-timeout recovery.
+//
+// The paper's evaluation runs on clean emulated pipes; real WAN paths to
+// phones and far-away terminals burst-lose packets and jitter their delays.
+// This transport keeps the Connection machinery intact (MSS segmentation,
+// serialization, TCP window, shared-NIC attach, fault plans) and overrides
+// only segment-trip planning:
+//
+//   * Loss: a two-state Gilbert–Elliott chain (Good/Bad) advances once per
+//     transmission attempt; the per-attempt loss probability depends on the
+//     state. Bursty loss falls out of the chain spending dwell time in Bad.
+//   * Recovery: a lost segment is retransmitted after an RTO, so each loss
+//     adds one RTO (plus a fresh serialization slot, folded into the RTO) to
+//     the segment's one-way delay — and stalls its ack, which throttles the
+//     window exactly as a real TCP sender stalls. Delivery is reliable:
+//     every byte eventually arrives.
+//   * Jitter: each attempt draws a quantized uniform one-way jitter.
+//   * Ordering: a per-direction delivery floor clamps each arrival to be no
+//     earlier than its predecessor's, so the DELIVERED byte stream stays in
+//     send order no matter how loss and jitter shuffle raw arrival times.
+//     That is what preserves the delivered-hash identity contract: same seed
+//     ⇒ the same bytes hash the same here as on the clean wire, at any
+//     modeled core count K.
+//
+// Determinism: all randomness comes from one per-session splitmix64 stream
+// per direction (derived from LossyOptions::seed), consumed in segment send
+// order. Virtual timing varies with the draws; delivered bytes never do.
+//
+// Estimator integration: any segment whose spacing no longer reflects pure
+// serialization — retransmitted, floor-clamped behind a retransmission, or
+// jitter-compressed against its predecessor — is flagged disturbed, which
+// reaches the observer as OnDeliveryDisturbed so packet-pair bandwidth
+// estimation (src/adapt/net_estimator.h) can discard the poisoned gap.
+#ifndef THINC_SRC_NET_LOSSY_H_
+#define THINC_SRC_NET_LOSSY_H_
+
+#include <cstdint>
+
+#include "src/net/connection.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+
+struct LossyOptions {
+  // Gilbert–Elliott chain: state-transition probabilities per transmission
+  // attempt, and per-attempt loss probability in each state. The defaults
+  // model an ~8% dwell in Bad with heavy burst loss there and near-clean
+  // behavior in Good.
+  double p_good_to_bad = 0.02;
+  double p_bad_to_good = 0.25;
+  double loss_good = 0.001;
+  double loss_bad = 0.25;
+  // Quantized uniform one-way jitter per transmission: a multiple of
+  // jitter_quantum in [0, jitter_max]. 0 disables jitter. Quantization keeps
+  // equal-jitter packet pairs common enough for the bandwidth estimator to
+  // converge on clean pairs.
+  SimTime jitter_max = 4 * kMillisecond;
+  SimTime jitter_quantum = kMillisecond;
+  // Delay added per lost transmission attempt (timeout + retransmission).
+  SimTime rto = 80 * kMillisecond;
+  // Loss cap per segment: after this many timeouts the retransmission is
+  // assumed through (the chain has almost surely left Bad by then; the cap
+  // bounds worst-case delay).
+  int max_retransmits = 6;
+  // Per-session PRNG stream seed; each direction derives its own substream.
+  uint64_t seed = 1;
+};
+
+class LossyTransport : public Connection {
+ public:
+  LossyTransport(EventLoop* loop, const LinkParams& params,
+                 const LossyOptions& options = {},
+                 size_t send_buffer_bytes = 256 << 10);
+
+  TransportKind kind() const override { return TransportKind::kLossy; }
+
+  const LossyOptions& lossy_options() const { return options_; }
+
+  // Lifetime loss statistics (lost transmission attempts, i.e. RTO hits).
+  int64_t segments_lost() const { return segments_lost_; }
+  int64_t segments_sent() const { return segments_sent_; }
+
+ protected:
+  SimTime PlanSegmentTrip(int from, SimTime depart, SimTime* ack,
+                          bool* disturbed) override;
+
+ private:
+  struct PathState {
+    Prng rng{1};
+    bool bad = false;              // current Gilbert–Elliott state
+    SimTime delivery_floor = 0;    // last planned arrival (FIFO clamp)
+    SimTime prev_jitter = -1;      // jitter of the previous delivered segment
+  };
+
+  LossyOptions options_;
+  PathState paths_[2];  // indexed by sending endpoint
+  int64_t segments_sent_ = 0;
+  int64_t segments_lost_ = 0;
+};
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_NET_LOSSY_H_

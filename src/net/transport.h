@@ -53,6 +53,7 @@ struct TraceRecord {
 enum class TransportKind {
   kWire,      // simulated TCP connection
   kLoopback,  // same-host shared-memory handoff
+  kLossy,     // wire over a lossy WAN path (Gilbert–Elliott loss + jitter)
 };
 
 // Per-direction delivery bookkeeping, shared by every transport so the
@@ -93,6 +94,12 @@ class TransportObserver {
   virtual ~TransportObserver() = default;
   // A segment sent from `from` finished delivery at `now`.
   virtual void OnDelivery(int from, SimTime now, size_t bytes) = 0;
+  // The delivery about to be reported from `from` was disturbed in transit —
+  // retransmitted after loss, reordered behind a retransmission, or jitter-
+  // shifted relative to its predecessor — so its spacing to neighboring
+  // deliveries carries no packet-pair information. Fired immediately before
+  // the matching OnDelivery. Clean transports never call it.
+  virtual void OnDeliveryDisturbed(int from) { (void)from; }
   // Endpoint `from` learned a full round-trip sample (wire acks only; the
   // loopback never reports one — there is no round trip to measure).
   virtual void OnRttSample(int from, SimTime rtt) = 0;

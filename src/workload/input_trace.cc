@@ -1,0 +1,168 @@
+#include "src/workload/input_trace.h"
+
+#include "src/util/logging.h"
+#include "src/util/prng.h"
+
+namespace thinc {
+namespace {
+
+// Clamps a point into the device screen (generators already aim in bounds;
+// the clamp guards degenerate tiny screens).
+Point InBounds(int64_t x, int64_t y, const InputTraceOptions& o) {
+  const int32_t max_x = o.screen_width > 0 ? o.screen_width - 1 : 0;
+  const int32_t max_y = o.screen_height > 0 ? o.screen_height - 1 : 0;
+  Point p;
+  p.x = static_cast<int32_t>(x < 0 ? 0 : (x > max_x ? max_x : x));
+  p.y = static_cast<int32_t>(y < 0 ? 0 : (y > max_y ? max_y : y));
+  return p;
+}
+
+// Desktop keyboard: typing bursts of 5..15 keystrokes at 120..280 ms
+// inter-key gaps, separated by 1..3 s think pauses; each burst advances the
+// caret along a text line, and some pauses end with a navigation click.
+void GenerateDesktop(const InputTraceOptions& o, Prng* rng,
+                     std::vector<InputEvent>* out) {
+  SimTime t = rng->NextInRange(200, 800) * kMillisecond;
+  int64_t caret_x = o.screen_width / 8;
+  int64_t caret_y = o.screen_height / 4;
+  const int64_t char_w = 8;
+  const int64_t line_h = 16;
+  while (t < o.duration) {
+    const int burst = static_cast<int>(rng->NextInRange(5, 15));
+    for (int k = 0; k < burst && t < o.duration; ++k) {
+      out->push_back({t, InputEventKind::kKeystroke,
+                      InBounds(caret_x, caret_y, o)});
+      caret_x += char_w;
+      if (caret_x > o.screen_width * 7 / 8) {
+        caret_x = o.screen_width / 8;
+        caret_y += line_h;
+        if (caret_y > o.screen_height * 3 / 4) {
+          caret_y = o.screen_height / 4;
+        }
+      }
+      t += rng->NextInRange(120, 280) * kMillisecond;
+    }
+    // Think pause; one in four ends with a click somewhere on the page.
+    t += rng->NextInRange(1000, 3000) * kMillisecond;
+    if (t < o.duration && rng->NextBool(0.25)) {
+      out->push_back({t, InputEventKind::kTap,
+                      InBounds(rng->NextBelow(o.screen_width),
+                               rng->NextBelow(o.screen_height), o)});
+      t += rng->NextInRange(300, 900) * kMillisecond;
+    }
+  }
+}
+
+// Phone touch: flick-scroll bursts of 4..8 steps at 40..90 ms gaps down the
+// page, long 2..5 s reading gaps, occasional taps (link follows).
+void GeneratePhone(const InputTraceOptions& o, Prng* rng,
+                   std::vector<InputEvent>* out) {
+  SimTime t = rng->NextInRange(300, 1200) * kMillisecond;
+  while (t < o.duration) {
+    if (rng->NextBool(0.7)) {
+      const int steps = static_cast<int>(rng->NextInRange(4, 8));
+      const int64_t x = o.screen_width / 2 +
+                        rng->NextInRange(-o.screen_width / 8, o.screen_width / 8);
+      for (int k = 0; k < steps && t < o.duration; ++k) {
+        const int64_t y = o.screen_height / 2 +
+                          rng->NextInRange(-o.screen_height / 4,
+                                           o.screen_height / 4);
+        out->push_back({t, InputEventKind::kScroll, InBounds(x, y, o)});
+        t += rng->NextInRange(40, 90) * kMillisecond;
+      }
+    } else {
+      out->push_back({t, InputEventKind::kTap,
+                      InBounds(rng->NextBelow(o.screen_width),
+                               rng->NextBelow(o.screen_height), o)});
+      t += rng->NextInRange(200, 600) * kMillisecond;
+    }
+    // Reading gap.
+    t += rng->NextInRange(2000, 5000) * kMillisecond;
+  }
+}
+
+// Kiosk terminal: sparse touches every 5..15 s (a display-mostly device —
+// signage, a lab status screen — whose rare input is navigation).
+void GenerateKiosk(const InputTraceOptions& o, Prng* rng,
+                   std::vector<InputEvent>* out) {
+  SimTime t = rng->NextInRange(2000, 8000) * kMillisecond;
+  while (t < o.duration) {
+    out->push_back({t, InputEventKind::kTap,
+                    InBounds(rng->NextBelow(o.screen_width),
+                             rng->NextBelow(o.screen_height), o)});
+    t += rng->NextInRange(5000, 15000) * kMillisecond;
+  }
+}
+
+}  // namespace
+
+const char* InputEventKindName(InputEventKind kind) {
+  switch (kind) {
+    case InputEventKind::kKeystroke:
+      return "keystroke";
+    case InputEventKind::kScroll:
+      return "scroll";
+    case InputEventKind::kTap:
+      return "tap";
+  }
+  return "?";
+}
+
+std::vector<InputEvent> GenerateInputTrace(const InputTraceOptions& options) {
+  THINC_CHECK(options.duration >= 0);
+  THINC_CHECK(options.screen_width > 0 && options.screen_height > 0);
+  std::vector<InputEvent> out;
+  Prng rng(options.seed);
+  switch (options.cadence) {
+    case InputCadence::kDesktopKeyboard:
+      GenerateDesktop(options, &rng, &out);
+      break;
+    case InputCadence::kPhoneTouch:
+      GeneratePhone(options, &rng, &out);
+      break;
+    case InputCadence::kTerminalKiosk:
+      GenerateKiosk(options, &rng, &out);
+      break;
+  }
+  // The generators emit in time order by construction; keep the invariant
+  // checkable where it is produced.
+  for (size_t i = 1; i < out.size(); ++i) {
+    THINC_CHECK_MSG(out[i].time > out[i - 1].time,
+                    "input trace times must be strictly increasing");
+  }
+  return out;
+}
+
+void ReplayInputTrace(EventLoop* loop, const std::vector<InputEvent>& trace,
+                      std::function<void(const InputEvent&)> deliver) {
+  const SimTime base = loop->now();
+  for (const InputEvent& e : trace) {
+    loop->ScheduleAt(base + e.time,
+                     [deliver, e] { deliver(e); });
+  }
+}
+
+InputTraceStats SummarizeInputTrace(const std::vector<InputEvent>& trace) {
+  InputTraceStats stats;
+  stats.events = trace.size();
+  for (const InputEvent& e : trace) {
+    switch (e.kind) {
+      case InputEventKind::kKeystroke:
+        ++stats.keystrokes;
+        break;
+      case InputEventKind::kScroll:
+        ++stats.scrolls;
+        break;
+      case InputEventKind::kTap:
+        ++stats.taps;
+        break;
+    }
+  }
+  if (trace.size() >= 2) {
+    stats.mean_gap = (trace.back().time - trace.front().time) /
+                     static_cast<SimTime>(trace.size() - 1);
+  }
+  return stats;
+}
+
+}  // namespace thinc

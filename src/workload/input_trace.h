@@ -1,0 +1,81 @@
+// Replayable interactive input traces: deterministic per-device-class event
+// schedules (typing, scrolling, tapping) that drive a session the way its
+// human does.
+//
+// The paper measures interactive performance under real user input (web
+// clicks, A/V control); a heterogeneous fleet adds the observation that
+// DIFFERENT devices produce differently-shaped input. A desktop user types
+// in bursts with think pauses; a phone user taps and flick-scrolls with long
+// reading gaps; a kiosk terminal sees sparse, widely-spaced touches. Each
+// cadence class generates a distinct arrival process — all from one
+// splitmix64 stream, so the schedule for (cadence, seed, duration) is a pure
+// function: replaying it against any system yields the identical virtual
+// event times, which is what makes per-device latency comparisons and the
+// byte-identical-wire determinism tests possible.
+#ifndef THINC_SRC_WORKLOAD_INPUT_TRACE_H_
+#define THINC_SRC_WORKLOAD_INPUT_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/device/device.h"
+#include "src/util/event_loop.h"
+#include "src/util/geometry.h"
+
+namespace thinc {
+
+enum class InputEventKind {
+  kKeystroke,  // one typed character (desktop bursts)
+  kScroll,     // one flick/wheel step (phone flicks, desktop wheel)
+  kTap,        // a click or touch (navigation)
+};
+
+const char* InputEventKindName(InputEventKind kind);
+
+// One scheduled user action. Times are offsets from trace start, strictly
+// increasing within a trace.
+struct InputEvent {
+  SimTime time = 0;
+  InputEventKind kind = InputEventKind::kTap;
+  // Where the event lands on the device's screen (caret position for
+  // keystrokes, touch point for taps/flicks).
+  Point location{0, 0};
+};
+
+struct InputTraceOptions {
+  InputCadence cadence = InputCadence::kDesktopKeyboard;
+  SimTime duration = 10 * kSecond;
+  uint64_t seed = 1;
+  // Device screen the locations are drawn on (events stay in bounds).
+  int32_t screen_width = 1024;
+  int32_t screen_height = 768;
+};
+
+// Generates the full event schedule for one trace. Deterministic: equal
+// options (including seed) produce the identical vector; distinct seeds
+// produce distinct schedules (splitmix64 stream per trace).
+std::vector<InputEvent> GenerateInputTrace(const InputTraceOptions& options);
+
+// Schedules every event of `trace` on `loop` at (loop->now() + event.time),
+// invoking `deliver` for each. The caller's deliver callback typically
+// forwards to ThincClient::SendInput / ThincSystem::ClientClick and echoes
+// application output (typed characters, scrolled content) through the
+// window server.
+void ReplayInputTrace(EventLoop* loop, const std::vector<InputEvent>& trace,
+                      std::function<void(const InputEvent&)> deliver);
+
+// Summary statistics used by conformance tests and the device bench.
+struct InputTraceStats {
+  size_t events = 0;
+  size_t keystrokes = 0;
+  size_t scrolls = 0;
+  size_t taps = 0;
+  SimTime mean_gap = 0;  // mean inter-event gap (0 when < 2 events)
+};
+
+InputTraceStats SummarizeInputTrace(const std::vector<InputEvent>& trace);
+
+}  // namespace thinc
+
+#endif  // THINC_SRC_WORKLOAD_INPUT_TRACE_H_

@@ -160,5 +160,112 @@ TEST(FantTest, PaperPdaScaleIsReadable) {
   EXPECT_GT(contrast_pairs, 30);
 }
 
+// Device-matrix properties: the phone viewport path downsamples the hosted
+// desktop to the device panel on the server, and a zoom-to-fit client
+// replicates it back up. Exercised at the real device-matrix geometries.
+TEST(DeviceFantTest, PhoneDownsampleThenReplicatePreservesSolidColor) {
+  // A solid screen must survive the full round trip exactly: area-weighted
+  // averaging of a constant field is the same constant, both directions.
+  Prng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Pixel color = MakePixel(static_cast<uint8_t>(rng.Next()),
+                                  static_cast<uint8_t>(rng.Next()),
+                                  static_cast<uint8_t>(rng.Next()));
+    Surface hosted(256, 192, color);  // 4:3 hosted desktop, test-sized
+    Surface panel = FantResample(hosted, 120, 80);  // 3:2 phone panel
+    Surface back = FantResample(panel, 256, 192);
+    for (int y = 0; y < 192; ++y) {
+      for (int x = 0; x < 256; ++x) {
+        ASSERT_EQ(back.At(x, y), color) << "trial " << trial << " at ("
+                                        << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(DeviceFantTest, PhonePanelGeometriesStayInBounds) {
+  // Awkward, non-divisible scale factors (the smartphone panel is neither a
+  // divisor nor a multiple of common hosted sizes) must produce exactly the
+  // requested geometry with every pixel written — no out-of-bounds reads on
+  // the last row/column, no unwritten output. The background sentinel can
+  // only disappear by being overwritten.
+  const int32_t kPanels[][2] = {{480, 320}, {320, 240}, {64, 48}, {119, 61}};
+  Surface hosted(1024 / 4, 768 / 4, kBlack);  // odd fractional factors below
+  for (int y = 0; y < hosted.height(); ++y) {
+    for (int x = 0; x < hosted.width(); ++x) {
+      hosted.Put(x, y, MakePixel(200, 200, 200));
+    }
+  }
+  for (const auto& panel : kPanels) {
+    Surface out = FantResample(hosted, panel[0], panel[1]);
+    ASSERT_EQ(out.width(), panel[0]);
+    ASSERT_EQ(out.height(), panel[1]);
+    for (int y = 0; y < out.height(); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        // Every output pixel is a convex combination of in-bounds inputs,
+        // all of which are the same gray.
+        ASSERT_EQ(out.At(x, y), MakePixel(200, 200, 200))
+            << panel[0] << "x" << panel[1] << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(DeviceFantTest, PhoneDownsampleKeepsMeanLuminance) {
+  // Energy preservation at the real phone factor: random content downsampled
+  // to the 480x320-class panel keeps its mean luminance (nothing clipped or
+  // double-counted by the fractional footprints).
+  Surface hosted(256, 192, kBlack);
+  Prng rng(43);
+  double mean_in = 0;
+  for (int y = 0; y < 192; ++y) {
+    for (int x = 0; x < 256; ++x) {
+      const uint8_t v = static_cast<uint8_t>(rng.Next());
+      hosted.Put(x, y, MakePixel(v, v, v));
+      mean_in += v;
+    }
+  }
+  mean_in /= 256.0 * 192.0;
+  Surface panel = FantResample(hosted, 120, 80);
+  double mean_out = 0;
+  for (int y = 0; y < 80; ++y) {
+    for (int x = 0; x < 120; ++x) {
+      mean_out += PixelR(panel.At(x, y));
+    }
+  }
+  mean_out /= 120.0 * 80.0;
+  EXPECT_NEAR(mean_out, mean_in, 2.0);
+}
+
+TEST(DeviceFantTest, ReplicateUpscaleKeepsPanelContrast) {
+  // The client-side replicate direction at the phone factor: a panel-sized
+  // checkerboard blown back up to the hosted size must keep its contrast
+  // (text downscaled for the panel stays legible when zoomed).
+  Surface panel(60, 40, kWhite);
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 60; ++x) {
+      if (((x / 4) + (y / 4)) % 2 == 0) {
+        panel.Put(x, y, kBlack);
+      }
+    }
+  }
+  Surface back = FantResample(panel, 256, 192);
+  int dark = 0, light = 0;
+  for (int y = 0; y < 192; ++y) {
+    for (int x = 0; x < 256; ++x) {
+      const int v = PixelR(back.At(x, y));
+      if (v < 64) {
+        ++dark;
+      } else if (v > 192) {
+        ++light;
+      }
+    }
+  }
+  // Both poles survive in quantity — replication interpolates edges but
+  // cannot wash the board toward gray.
+  EXPECT_GT(dark, 256 * 192 / 4);
+  EXPECT_GT(light, 256 * 192 / 4);
+}
+
 }  // namespace
 }  // namespace thinc

@@ -1,12 +1,15 @@
 // Transport conformance suite: every behavioral contract of the Transport
-// interface (src/net/transport.h), run against BOTH implementations — the
-// simulated TCP wire and the shared-memory loopback. A new transport joins
-// the codebase by passing this suite, not by re-deriving the semantics.
+// interface (src/net/transport.h), run against ALL implementations — the
+// simulated TCP wire, the shared-memory loopback, and the lossy WAN path. A
+// new transport joins the codebase by passing this suite, not by
+// re-deriving the semantics.
 //
 // Also proves the cross-transport determinism claim: the delivered-byte
 // hash is segmentation-independent, so the same sent stream hashes equal on
-// the wire (MSS segments) and the loopback (whole-buffer handoffs), and the
-// loopback stream is byte-identical at any host core count K.
+// the wire (MSS segments), the loopback (whole-buffer handoffs), and the
+// lossy path (retransmitted, jittered segments re-ordered back by the
+// delivery floor) — and each stream is byte-identical at any host core
+// count K.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +22,7 @@
 #include "src/baselines/thinc_system.h"
 #include "src/net/connection.h"
 #include "src/net/loopback.h"
+#include "src/net/lossy.h"
 #include "src/util/prng.h"
 
 namespace thinc {
@@ -36,13 +40,27 @@ LinkParams FastLink() {
   return LinkParams{100'000'000, 200, 1 << 20, "test"};
 }
 
+// Heavy-handed loss settings for the conformance runs: every contract must
+// hold even when the path spends real time in the Bad state.
+LossyOptions ConformanceLoss() {
+  LossyOptions loss;
+  loss.p_good_to_bad = 0.05;
+  loss.loss_bad = 0.4;
+  loss.seed = 7;
+  return loss;
+}
+
 class TransportConformanceTest : public ::testing::TestWithParam<TransportKind> {
  protected:
   // Builds the transport under test over `loop` with a kSendBuf-byte send
-  // budget, so backpressure tests see the same capacity on both kinds.
+  // budget, so backpressure tests see the same capacity on every kind.
   std::unique_ptr<Transport> Make(EventLoop* loop, int cpu_cores = 1) {
     if (GetParam() == TransportKind::kWire) {
       return std::make_unique<Connection>(loop, FastLink(), kSendBuf);
+    }
+    if (GetParam() == TransportKind::kLossy) {
+      return std::make_unique<LossyTransport>(loop, FastLink(),
+                                              ConformanceLoss(), kSendBuf);
     }
     cpus_.push_back(std::make_unique<CpuAccount>(loop, 2.0, cpu_cores));
     LoopbackOptions options;
@@ -246,11 +264,18 @@ TEST_P(TransportConformanceTest, IdleReflectsPendingData) {
 
 INSTANTIATE_TEST_SUITE_P(Transports, TransportConformanceTest,
                          ::testing::Values(TransportKind::kWire,
-                                           TransportKind::kLoopback),
+                                           TransportKind::kLoopback,
+                                           TransportKind::kLossy),
                          [](const ::testing::TestParamInfo<TransportKind>& info) {
-                           return info.param == TransportKind::kWire
-                                      ? "Wire"
-                                      : "Loopback";
+                           switch (info.param) {
+                             case TransportKind::kWire:
+                               return "Wire";
+                             case TransportKind::kLoopback:
+                               return "Loopback";
+                             case TransportKind::kLossy:
+                               return "Lossy";
+                           }
+                           return "?";
                          });
 
 // --- Cross-transport determinism ---------------------------------------------
@@ -335,16 +360,67 @@ TEST(CrossTransportDeterminismTest, LoopbackStreamIdenticalAcrossCoreCounts) {
   EXPECT_EQ(by_cores[0].hash, by_cores[2].hash);
 }
 
+TEST(CrossTransportDeterminismTest, LossyStreamHashesEqualToCleanWire) {
+  // Loss and jitter move virtual time, never bytes: the delivered stream —
+  // and the FNV fingerprint — must match the clean wire's exactly, and a
+  // second run with the same seed must reproduce it.
+  StreamResult clean, lossy, lossy_again;
+  {
+    EventLoop loop;
+    Connection conn(&loop, FastLink(), kSendBuf);
+    clean = PushStream(&loop, &conn, 64);
+  }
+  for (StreamResult* r : {&lossy, &lossy_again}) {
+    EventLoop loop;
+    LossyTransport lt(&loop, FastLink(), ConformanceLoss(), kSendBuf);
+    *r = PushStream(&loop, &lt, 64);
+    EXPECT_GT(lt.segments_lost(), 0) << "loss settings must actually bite";
+  }
+  EXPECT_GT(clean.bytes, 0);
+  EXPECT_EQ(clean.bytes, lossy.bytes);
+  EXPECT_EQ(clean.hash, lossy.hash);
+  EXPECT_EQ(lossy.hash, lossy_again.hash);
+}
+
+TEST(CrossTransportDeterminismTest, LossySeedChangesTimingNotBytes) {
+  // Different loss seeds draw different loss/jitter sequences; the
+  // delivered bytes must still be the identical stream.
+  StreamResult a, b;
+  SimTime last_a = 0, last_b = 0;
+  {
+    EventLoop loop;
+    LossyOptions loss = ConformanceLoss();
+    loss.seed = 101;
+    LossyTransport lt(&loop, FastLink(), loss, kSendBuf);
+    a = PushStream(&loop, &lt, 32);
+    last_a = lt.LastDeliveryTo(Transport::kClient);
+  }
+  {
+    EventLoop loop;
+    LossyOptions loss = ConformanceLoss();
+    loss.seed = 202;
+    LossyTransport lt(&loop, FastLink(), loss, kSendBuf);
+    b = PushStream(&loop, &lt, 32);
+    last_b = lt.LastDeliveryTo(Transport::kClient);
+  }
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_NE(last_a, last_b)
+      << "distinct seeds should produce distinct delivery timing";
+}
+
 // Full-stack variant: an identical scripted session through ThincSystem
 // must put the same bytes on the channel whether that channel is the wire
 // or the loopback — the transport carries the protocol stream, it never
 // shapes it. Paced draw windows keep each burst drained before the next
 // render instant, so scheduler coalescing sees identical queues on both.
 uint64_t RunScriptedSession(TransportKind kind, int cores,
-                            int64_t* bytes_out = nullptr) {
+                            int64_t* bytes_out = nullptr,
+                            const LossyOptions& loss = {},
+                            int64_t* lost_out = nullptr) {
   EventLoop loop;
   ThincSystem sys(&loop, LanDesktopLink(), 128, 96, ThincServerOptions{},
-                  ThincClientOptions{}, cores, kind);
+                  ThincClientOptions{}, cores, kind, loss);
   WindowServer* ws = sys.window_server();
   Prng rng(11);
   for (int step = 0; step < 5; ++step) {
@@ -362,7 +438,25 @@ uint64_t RunScriptedSession(TransportKind kind, int cores,
   if (bytes_out != nullptr) {
     *bytes_out = sys.BytesToClient();
   }
+  if (lost_out != nullptr) {
+    *lost_out =
+        static_cast<LossyTransport*>(sys.connection())->segments_lost();
+  }
   return sys.connection()->DeliveredHashTo(Transport::kClient);
+}
+
+// Loss tuned so retransmit delays stay inside the 100 ms pacing window:
+// every burst still drains before the next render instant, which is what
+// keeps the server's coalescing decisions — and therefore the sent bytes —
+// identical at any core count even on a lossy path.
+LossyOptions PacedSessionLoss() {
+  LossyOptions loss;
+  loss.p_good_to_bad = 0.1;
+  loss.loss_bad = 0.5;
+  loss.jitter_max = 2 * kMillisecond;
+  loss.rto = 10 * kMillisecond;
+  loss.seed = 5;
+  return loss;
 }
 
 TEST(CrossTransportDeterminismTest, ThincSessionBytesIdenticalAcrossTransports) {
@@ -379,6 +473,39 @@ TEST(CrossTransportDeterminismTest, ThincLoopbackSessionIdenticalAcrossCores) {
   const uint64_t k1 = RunScriptedSession(TransportKind::kLoopback, 1);
   const uint64_t k2 = RunScriptedSession(TransportKind::kLoopback, 2);
   EXPECT_EQ(k1, k2);
+}
+
+TEST(CrossTransportDeterminismTest, ThincLossySessionIdenticalAcrossCores) {
+  // The delivered-hash identity must survive loss at K in {1, 2, 4}: cores
+  // move encode timing, loss moves delivery timing, and neither may move
+  // bytes.
+  int64_t b1 = 0, b2 = 0, b4 = 0;
+  int64_t lost1 = 0;
+  const uint64_t k1 = RunScriptedSession(TransportKind::kLossy, 1, &b1,
+                                         PacedSessionLoss(), &lost1);
+  const uint64_t k2 =
+      RunScriptedSession(TransportKind::kLossy, 2, &b2, PacedSessionLoss());
+  const uint64_t k4 =
+      RunScriptedSession(TransportKind::kLossy, 4, &b4, PacedSessionLoss());
+  EXPECT_GT(b1, 0);
+  EXPECT_GT(lost1, 0) << "loss settings must actually bite";
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(b1, b4);
+  EXPECT_EQ(k1, k4);
+}
+
+TEST(CrossTransportDeterminismTest, ThincLossySessionMatchesCleanWireBytes) {
+  // Same scripted session, clean wire vs lossy path, same everything else:
+  // the protocol stream the client decodes must be byte-identical.
+  int64_t clean_bytes = 0, lossy_bytes = 0;
+  const uint64_t clean =
+      RunScriptedSession(TransportKind::kWire, 1, &clean_bytes);
+  const uint64_t lossy = RunScriptedSession(TransportKind::kLossy, 1,
+                                            &lossy_bytes, PacedSessionLoss());
+  EXPECT_GT(clean_bytes, 0);
+  EXPECT_EQ(clean_bytes, lossy_bytes);
+  EXPECT_EQ(clean, lossy);
 }
 
 // --- Loopback zero-copy ------------------------------------------------------
